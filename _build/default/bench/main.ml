@@ -1,0 +1,167 @@
+(* Benchmark and reproduction harness.
+
+   Usage:
+     dune exec bench/main.exe                  -- every artifact (Fig. 2-4,
+                                                  Thm 1-2, ablations, micro)
+     dune exec bench/main.exe -- fig2 fig3 ... -- a subset
+     dune exec bench/main.exe -- --full ...    -- paper-size workloads
+     dune exec bench/main.exe -- --seeds 30    -- paper-size repetitions
+
+   Each FIG* table regenerates the rows/series of the corresponding
+   figure of the paper; micro runs Bechamel on the core operations. *)
+
+let micro fmt =
+  let open Bechamel in
+  let rng = Simkit.Rng.create 7 in
+  let tree_n = 1024 in
+  (* Pre-built state reused across benchmarked closures. *)
+  let tree = Bstnet.Build.balanced tree_n in
+  let rec fill v =
+    if v = Bstnet.Topology.nil then 0
+    else begin
+      let w =
+        1
+        + fill (Bstnet.Topology.left tree v)
+        + fill (Bstnet.Topology.right tree v)
+      in
+      Bstnet.Topology.set_weight tree v w;
+      w
+    end
+  in
+  ignore (fill (Bstnet.Topology.root tree));
+  let zipf = Workloads.Zipf.create ~alpha:1.2 ~k:4096 in
+  let lz_data = Array.init 10_000 (fun i -> (i * 37) mod 512) in
+  let small_trace =
+    Array.init 256 (fun i -> (i, (i * 7) mod 127, (i * 13) mod 127))
+  in
+  let config = Cbnet.Config.default in
+  let tests =
+    [
+      Test.make ~name:"rotate_up+undo"
+        (Staged.stage (fun () ->
+             (* Rotate a mid-tree node up and back: constant-size local
+                reconfiguration, the paper's unit of adjustment cost. *)
+             let x = 300 in
+             let p = Bstnet.Topology.parent tree x in
+             Bstnet.Topology.rotate_up tree x;
+             Bstnet.Topology.rotate_up tree p));
+      Test.make ~name:"delta_promote"
+        (Staged.stage (fun () -> ignore (Cbnet.Potential.delta_promote tree 300)));
+      Test.make ~name:"step-plan"
+        (Staged.stage (fun () ->
+             ignore (Cbnet.Step.plan config tree ~current:5 ~dst:900)));
+      Test.make ~name:"lca"
+        (Staged.stage (fun () -> ignore (Bstnet.Topology.lca tree 5 900)));
+      Test.make ~name:"zipf-sample"
+        (Staged.stage (fun () -> ignore (Workloads.Zipf.sample zipf rng)));
+      Test.make ~name:"lz78-10k-symbols"
+        (Staged.stage (fun () -> ignore (Tracekit.Lz78.compressed_bits lz_data)));
+      Test.make ~name:"scbn-256msg-n127"
+        (Staged.stage (fun () ->
+             ignore (Cbnet.Sequential.run (Bstnet.Build.balanced 127) small_trace)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"cbnet" ~fmt:"%s/%s" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Format.fprintf fmt "== MICRO: core operation latencies (monotonic clock) ==@.";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, ns) -> Format.fprintf fmt "%-28s %12.1f ns/run@." name ns)
+    (List.sort compare !rows);
+  Format.fprintf fmt "@."
+
+let export_csv dir options =
+  let cells =
+    Runtime.Experiment.run_matrix ~scale:options.Runtime.Figures.scale
+      ~seeds:options.Runtime.Figures.seeds
+      ~lambda:options.Runtime.Figures.lambda
+      ~base_seed:options.Runtime.Figures.base_seed
+      ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ()
+  in
+  let path = Filename.concat dir "measurements.csv" in
+  Runtime.Export.measurements_csv cells path;
+  Format.printf "wrote %d cells to %s@." (List.length cells) path
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let seeds =
+    let rec find = function
+      | "--seeds" :: v :: _ -> int_of_string v
+      | _ :: rest -> find rest
+      | [] -> if full then 30 else 3
+    in
+    find args
+  in
+  let options =
+    {
+      Runtime.Figures.default_options with
+      Runtime.Figures.scale =
+        (if full then Workloads.Catalog.Full else Workloads.Catalog.Default);
+      seeds;
+    }
+  in
+  let wanted =
+    List.filter
+      (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+      (List.filter (fun a -> a <> string_of_int seeds) args)
+  in
+  let fmt = Format.std_formatter in
+  let artifacts =
+    [
+      ("fig2", fun () -> Runtime.Figures.fig2 ~options fmt);
+      ("fig3", fun () -> Runtime.Figures.fig3 ~options fmt);
+      ("fig4", fun () -> Runtime.Figures.fig4 ~options fmt);
+      ("thm1", fun () -> Runtime.Figures.thm1 ~options fmt);
+      ("thm2", fun () -> Runtime.Figures.thm2 ~options fmt);
+      ( "ablation",
+        fun () ->
+          Runtime.Figures.ablation_delta ~options fmt;
+          Runtime.Figures.ablation_reset ~options fmt;
+          Runtime.Figures.ablation_mtr ~options fmt;
+          Runtime.Figures.ablation_rcost ~options fmt );
+      ("timeline", fun () -> Runtime.Figures.timeline ~options fmt);
+      ("latency", fun () -> Runtime.Figures.latency ~options fmt);
+      ("trace-map", fun () -> Runtime.Figures.trace_map_sweep ~options fmt);
+      ("micro", fun () -> micro fmt);
+    ]
+  in
+  let csv_dir =
+    let rec find = function
+      | "--csv" :: dir :: _ -> Some dir
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  (match csv_dir with Some dir -> export_csv dir options | None -> ());
+  let wanted = List.filter (fun a -> Some a <> csv_dir) wanted in
+  match wanted with
+  | [] ->
+      (* Everything: figures share one matrix computation. *)
+      Runtime.Figures.all ~options fmt;
+      micro fmt
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name artifacts with
+          | Some run -> run ()
+          | None ->
+              Format.eprintf "unknown artifact %S (known: %s)@." name
+                (String.concat ", " (List.map fst artifacts));
+              exit 2)
+        names

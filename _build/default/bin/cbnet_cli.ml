@@ -1,0 +1,154 @@
+(* Command-line driver: run single experiments, reproduce the paper's
+   figures, inspect workloads.  `cbnet --help` lists everything. *)
+
+open Cmdliner
+
+let scale_arg =
+  let conv_scale =
+    Arg.enum [ ("default", Workloads.Catalog.Default); ("full", Workloads.Catalog.Full) ]
+  in
+  Arg.(
+    value
+    & opt conv_scale Workloads.Catalog.Default
+    & info [ "scale" ] ~doc:"Workload scale: $(b,default) (minutes) or $(b,full) (paper sizes).")
+
+let seeds_arg =
+  Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"Repetitions per cell (paper: 30).")
+
+let lambda_arg =
+  Arg.(value & opt float 0.05 & info [ "lambda" ] ~doc:"Poisson arrival parameter (Sec. IX-B).")
+
+let base_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.")
+
+let options_term =
+  let make scale seeds lambda base_seed =
+    { Runtime.Figures.scale; seeds; lambda; base_seed }
+  in
+  Term.(const make $ scale_arg $ seeds_arg $ lambda_arg $ base_seed_arg)
+
+let figure_cmd name doc
+    (render : ?options:Runtime.Figures.options -> Format.formatter -> unit) =
+  let run options = render ~options Format.std_formatter in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ options_term)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun k -> (k, k)) Workloads.Catalog.keys))) None
+    & info [ "workload"; "w" ] ~doc:"Workload name.")
+
+let algo_arg =
+  let algos = List.map (fun a -> (Runtime.Algo.name a, a)) Runtime.Algo.all in
+  Arg.(
+    required
+    & opt (some (enum algos)) None
+    & info [ "algo"; "a" ] ~doc:"Algorithm: BT, OPT, SN, DSN, SCBN or CBN.")
+
+let run_cmd =
+  let doc = "Run one algorithm on one workload and print its statistics." in
+  let run workload algo options =
+    let trace =
+      Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
+        ~lambda:options.Runtime.Figures.lambda ~workload
+        ~seed:options.Runtime.Figures.base_seed ()
+    in
+    Format.printf "%a@." Workloads.Trace.pp_summary trace;
+    let stats = Runtime.Algo.run algo trace in
+    Format.printf "%s: %a@." (Runtime.Algo.name algo) Cbnet.Run_stats.pp stats
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ algo_arg $ options_term)
+
+let complexity_cmd =
+  let doc = "Measure the trace complexity (T, NT, Psi) of a workload." in
+  let run workload options =
+    let entry = Workloads.Catalog.find workload in
+    let trace =
+      entry.Workloads.Catalog.generate options.Runtime.Figures.scale
+        ~seed:options.Runtime.Figures.base_seed
+    in
+    let r =
+      Tracekit.Complexity.measure ~seed:(options.Runtime.Figures.base_seed + 17) trace
+    in
+    Format.printf "%s: %a@." workload Tracekit.Complexity.pp r
+  in
+  Cmd.v (Cmd.info "complexity" ~doc) Term.(const run $ workload_arg $ options_term)
+
+let export_cmd =
+  let doc = "Generate a workload and write it to a CSV file." in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output path.")
+  in
+  let run workload out options =
+    let trace =
+      Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
+        ~lambda:options.Runtime.Figures.lambda ~workload
+        ~seed:options.Runtime.Figures.base_seed ()
+    in
+    Workloads.Trace.save_csv trace out;
+    Format.printf "wrote %a to %s@." Workloads.Trace.pp_summary trace out
+  in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ workload_arg $ out_arg $ options_term)
+
+let timeline_cmd =
+  let doc = "Print the adaptation timeline of sequential CBNet on a workload." in
+  let window_arg =
+    Arg.(value & opt int 1000 & info [ "window" ] ~doc:"Messages per window.")
+  in
+  let run workload window options =
+    let entry = Workloads.Catalog.find workload in
+    let trace =
+      entry.Workloads.Catalog.generate options.Runtime.Figures.scale
+        ~seed:options.Runtime.Figures.base_seed
+    in
+    Runtime.Timeline.pp Format.std_formatter
+      (Runtime.Timeline.sequential_cbnet ~window trace)
+  in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(const run $ workload_arg $ window_arg $ options_term)
+
+let matrix_cmd =
+  let doc =
+    "Run the full (workload x algorithm) matrix and write a CSV of the      aggregated measurements."
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output CSV path.")
+  in
+  let run out options =
+    let cells =
+      Runtime.Experiment.run_matrix ~scale:options.Runtime.Figures.scale
+        ~seeds:options.Runtime.Figures.seeds
+        ~lambda:options.Runtime.Figures.lambda
+        ~base_seed:options.Runtime.Figures.base_seed
+        ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ()
+    in
+    Runtime.Export.measurements_csv cells out;
+    Format.printf "wrote %d cells to %s@." (List.length cells) out
+  in
+  Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ out_arg $ options_term)
+
+let main =
+  let doc = "CBNet: concurrent counting-based self-adjusting tree networks" in
+  let info = Cmd.info "cbnet" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      figure_cmd "fig2" "Reproduce Fig. 2 (trace map)." Runtime.Figures.fig2;
+      figure_cmd "fig3" "Reproduce Fig. 3 (work cost)." Runtime.Figures.fig3;
+      figure_cmd "fig4" "Reproduce Fig. 4 (makespan & throughput)." Runtime.Figures.fig4;
+      figure_cmd "thm1" "Validate Theorem 1 (routing vs entropy)." Runtime.Figures.thm1;
+      figure_cmd "thm2" "Validate Theorem 2 (rotation bound)." Runtime.Figures.thm2;
+      figure_cmd "ablation-delta" "Rotation-threshold sweep." Runtime.Figures.ablation_delta;
+      figure_cmd "ablation-reset" "Counter-reset extension." Runtime.Figures.ablation_reset;
+      figure_cmd "ablation-mtr" "Move-to-root contrast." Runtime.Figures.ablation_mtr;
+      figure_cmd "all" "Reproduce every artifact." Runtime.Figures.all;
+      figure_cmd "timeline-fig" "Adaptation timelines." Runtime.Figures.timeline;
+      figure_cmd "latency" "Delivery-latency percentiles." Runtime.Figures.latency;
+      run_cmd;
+      complexity_cmd;
+      export_cmd;
+      timeline_cmd;
+      matrix_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

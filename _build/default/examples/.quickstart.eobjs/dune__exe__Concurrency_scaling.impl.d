@@ -1,0 +1,1 @@
+examples/concurrency_scaling.ml: Array Baselines Bstnet Cbnet Format List Printf Runtime Simkit

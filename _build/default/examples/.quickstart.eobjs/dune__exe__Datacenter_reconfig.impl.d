@@ -1,0 +1,1 @@
+examples/datacenter_reconfig.ml: Cbnet Format List Printf Runtime Tracekit Workloads

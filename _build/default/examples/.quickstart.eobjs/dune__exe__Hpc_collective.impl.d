@@ -1,0 +1,1 @@
+examples/hpc_collective.ml: Cbnet Format List Printf Runtime Simkit Workloads

@@ -1,0 +1,1 @@
+examples/hpc_collective.mli:

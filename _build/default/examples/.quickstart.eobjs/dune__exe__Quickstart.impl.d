@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bstnet Cbnet Format

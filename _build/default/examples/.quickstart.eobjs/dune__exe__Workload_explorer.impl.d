@@ -1,0 +1,1 @@
+examples/workload_explorer.ml: Baselines Bstnet Cbnet Format List Printf Runtime Tracekit Workloads

@@ -1,0 +1,36 @@
+(* HPC scenario: iterative stencil exchange plus periodic collectives
+   on 1,024 ranks (the paper's HPC workload, scaled down for an
+   example).  High temporal locality favours aggressive splaying in
+   work terms, but CBNet's concurrency wins the time domain — the
+   Fig. 4 story.
+
+   Run with:  dune exec examples/hpc_collective.exe *)
+
+let () =
+  let trace = Workloads.Hpc.generate ~side:16 ~m:20_000 ~seed:3 () in
+  let trace =
+    Workloads.Trace.with_poisson_births (Simkit.Rng.create 4) ~lambda:0.05 trace
+  in
+  Format.printf "workload: %a@.@." Workloads.Trace.pp_summary trace;
+
+  let rows =
+    List.map
+      (fun algo ->
+        let stats = Runtime.Algo.run algo trace in
+        [
+          Runtime.Algo.name algo;
+          Printf.sprintf "%.0f" stats.Cbnet.Run_stats.work;
+          string_of_int stats.Cbnet.Run_stats.rotations;
+          string_of_int stats.Cbnet.Run_stats.makespan;
+          Printf.sprintf "%.4f" stats.Cbnet.Run_stats.throughput;
+        ])
+      Runtime.Algo.dynamic
+  in
+  Runtime.Report.table
+    ~title:"HPC stencil + collectives (n=256, m=20k)"
+    ~headers:[ "algo"; "work"; "rotations"; "makespan"; "throughput" ]
+    rows Format.std_formatter;
+  Format.printf
+    "@.The splaying networks convert the per-iteration repetition into \
+     short paths and do less total work; CBNet still finishes first \
+     because nothing blocks on endpoints and rotations are rare.@."

@@ -1,0 +1,46 @@
+(* Workload explorer: sweep the two locality knobs of the tunable
+   generator and watch (a) where each trace lands on the paper's
+   trace-complexity map and (b) how CBNet's work responds — the
+   empirical version of the paper's premise that counting-based
+   reconfiguration monetizes non-temporal locality.
+
+   Run with:  dune exec examples/workload_explorer.exe *)
+
+let () =
+  let n = 256 in
+  let m = 8_000 in
+  let grid =
+    Workloads.Tunable.grid ~n ~m ~seed:5
+      ~temporal_levels:[ 0.0; 0.5; 0.9 ]
+      ~alpha_levels:[ 0.0; 1.0; 2.0 ]
+      ()
+  in
+  let rows =
+    List.map
+      (fun (temporal, alpha, trace) ->
+        let c = Tracekit.Complexity.measure ~seed:11 trace in
+        let runs = Workloads.Trace.to_runs trace in
+        let cbn = Cbnet.Sequential.run (Bstnet.Build.balanced n) runs in
+        let bt = Baselines.Static.run (Bstnet.Build.balanced n) runs in
+        [
+          Printf.sprintf "%.1f" temporal;
+          Printf.sprintf "%.1f" alpha;
+          Printf.sprintf "%.2f" c.Tracekit.Complexity.temporal;
+          Printf.sprintf "%.2f" c.Tracekit.Complexity.non_temporal;
+          Printf.sprintf "%.2f" c.Tracekit.Complexity.complexity;
+          Printf.sprintf "%.0f" cbn.Cbnet.Run_stats.work;
+          Printf.sprintf "%.2f" (cbn.Cbnet.Run_stats.work /. bt.Cbnet.Run_stats.work);
+        ])
+      grid
+  in
+  Runtime.Report.table
+    ~title:
+      "Locality knobs vs CBNet gains (n=256, m=8k; work ratio < 1 = beats \
+       the static balanced tree)"
+    ~headers:[ "p-temp"; "alpha"; "T"; "NT"; "Psi"; "cbnet-work"; "vs-BT" ]
+    rows Format.std_formatter;
+  Format.printf
+    "@.Reading the table: the alpha knob (rows with alpha = 2.0) drives NT \
+     down and CBNet's relative work with it; the temporal knob alone \
+     (p-temp = 0.9, alpha = 0) barely helps, exactly the trade the paper \
+     describes for counting-based reconfiguration.@."

@@ -1,0 +1,1 @@
+lib/baselines/demand.ml: Array Bstnet Float

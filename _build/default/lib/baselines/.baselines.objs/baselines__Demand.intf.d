@@ -1,0 +1,1 @@
+lib/baselines/demand.mli: Bstnet

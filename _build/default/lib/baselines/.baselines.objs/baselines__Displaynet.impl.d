@@ -1,0 +1,1 @@
+lib/baselines/displaynet.ml: Array Bstnet Cbnet Format List Printf Simkit Splay

@@ -1,0 +1,1 @@
+lib/baselines/displaynet.mli: Bstnet Cbnet Format Simkit

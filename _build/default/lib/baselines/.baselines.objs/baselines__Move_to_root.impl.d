@@ -1,0 +1,1 @@
+lib/baselines/move_to_root.ml: Array Bstnet Cbnet

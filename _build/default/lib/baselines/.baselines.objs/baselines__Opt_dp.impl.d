@@ -1,0 +1,1 @@
+lib/baselines/opt_dp.ml: Array Bstnet Demand

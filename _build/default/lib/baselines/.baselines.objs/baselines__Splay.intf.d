@@ -1,0 +1,1 @@
+lib/baselines/splay.mli: Bstnet

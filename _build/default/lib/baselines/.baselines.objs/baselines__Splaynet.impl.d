@@ -1,0 +1,1 @@
+lib/baselines/splaynet.ml: Array Bstnet Cbnet Splay

@@ -1,0 +1,1 @@
+lib/baselines/splaynet.mli: Bstnet Cbnet

@@ -1,0 +1,1 @@
+lib/baselines/static.ml: Array Bstnet Cbnet Demand Opt_dp

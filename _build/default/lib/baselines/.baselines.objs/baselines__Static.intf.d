@@ -1,0 +1,1 @@
+lib/baselines/static.mli: Bstnet Cbnet

@@ -1,0 +1,42 @@
+type t = {
+  n : int;
+  cost : int array;  (* interval cost, index lo*n+hi, 0 when lo > hi *)
+  root : int array;  (* argmin root of each interval *)
+}
+
+let idx n lo hi = (lo * n) + hi
+
+let solve ?(knuth = false) demand =
+  let n = Demand.n demand in
+  let cost = Array.make (n * n) 0 in
+  let root = Array.make (n * n) (-1) in
+  let interval_cost lo hi =
+    if lo > hi then 0 else cost.(idx n lo hi) + Demand.cut_cost demand ~lo ~hi
+  in
+  for lo = n - 1 downto 0 do
+    root.(idx n lo lo) <- lo;
+    for hi = lo + 1 to n - 1 do
+      let k_min, k_max =
+        if knuth && hi - lo >= 2 then
+          (root.(idx n lo (hi - 1)), root.(idx n (lo + 1) hi))
+        else (lo, hi)
+      in
+      let best = ref max_int and best_k = ref lo in
+      for k = k_min to k_max do
+        let c = interval_cost lo (k - 1) + interval_cost (k + 1) hi in
+        if c < !best then begin
+          best := c;
+          best_k := k
+        end
+      done;
+      cost.(idx n lo hi) <- !best;
+      root.(idx n lo hi) <- !best_k
+    done
+  done;
+  { n; cost; root }
+
+let cost t = t.cost.(idx t.n 0 (t.n - 1))
+let root_of t ~lo ~hi = t.root.(idx t.n lo hi)
+
+let tree t =
+  Bstnet.Build.of_interval_roots t.n (fun ~lo ~hi -> t.root.(idx t.n lo hi))

@@ -1,0 +1,30 @@
+(** Optimal static BST network (the OPT baseline) via dynamic
+    programming, as in the SplayNet paper [7].
+
+    Decomposition: the total routing cost of a static BST equals the
+    sum over all non-root subtrees of the traffic crossing the link
+    above that subtree, and BST subtrees are exactly the key intervals
+    chosen recursively.  So
+    [C(a,b) = min_k (C(a,k-1) + X(a,k-1)) + (C(k+1,b) + X(k+1,b))],
+    where [X] is {!Demand.cut_cost}.
+
+    The exact DP is O(n³) — about 6 s at n = 1024, the largest size the
+    paper uses, so exact is the default.  With [~knuth:true] the root
+    search is restricted to the classic Knuth window
+    [root(a,b-1) .. root(a+1,b)], giving O(n²); for this cost function
+    Knuth's monotonicity does NOT hold in general (gaps up to ~13%
+    were observed), so treat it strictly as a fast heuristic. *)
+
+type t
+
+val solve : ?knuth:bool -> Demand.t -> t
+(** Default [knuth = false] (exact).  O(n²) memory. *)
+
+val cost : t -> int
+(** The optimal total routing distance [Σ w(u,v) · d(u,v)]. *)
+
+val tree : t -> Bstnet.Topology.t
+(** Build the optimal topology. *)
+
+val root_of : t -> lo:int -> hi:int -> int
+(** Chosen root of the interval (for tests). *)

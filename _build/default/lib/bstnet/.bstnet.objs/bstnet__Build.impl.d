@@ -1,0 +1,1 @@
+lib/bstnet/build.ml: Array List Simkit Topology

@@ -1,0 +1,1 @@
+lib/bstnet/build.mli: Simkit Topology

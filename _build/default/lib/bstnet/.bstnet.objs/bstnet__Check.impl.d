@@ -1,0 +1,1 @@
+lib/bstnet/check.ml: Array Printf Result Topology

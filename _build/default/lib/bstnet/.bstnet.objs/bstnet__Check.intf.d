@@ -1,0 +1,1 @@
+lib/bstnet/check.mli: Topology

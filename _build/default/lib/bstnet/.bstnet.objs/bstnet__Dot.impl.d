@@ -1,0 +1,1 @@
+lib/bstnet/dot.ml: Buffer Fun List Printf Topology

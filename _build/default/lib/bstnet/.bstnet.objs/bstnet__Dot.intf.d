@@ -1,0 +1,1 @@
+lib/bstnet/dot.mli: Topology

@@ -1,0 +1,1 @@
+lib/bstnet/serialize.ml: Array Buffer Check Fun List Printf String Topology

@@ -1,0 +1,1 @@
+lib/bstnet/serialize.mli: Topology

@@ -1,0 +1,1 @@
+lib/bstnet/topology.ml: Array Format List

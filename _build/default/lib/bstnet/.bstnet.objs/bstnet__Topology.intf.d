@@ -1,0 +1,1 @@
+lib/bstnet/topology.mli: Format

@@ -1,0 +1,74 @@
+let of_interval_roots n choose =
+  if n <= 0 then invalid_arg "Build.of_interval_roots: n must be positive";
+  let root = choose ~lo:0 ~hi:(n - 1) in
+  if root < 0 || root >= n then
+    invalid_arg "Build.of_interval_roots: root choice out of interval";
+  let t = Topology.create ~n ~root in
+  let rec attach lo hi parent =
+    if lo <= hi then begin
+      let r = choose ~lo ~hi in
+      if r < lo || r > hi then
+        invalid_arg "Build.of_interval_roots: root choice out of interval";
+      if parent <> Topology.nil then Topology.set_child t ~parent ~child:r;
+      attach lo (r - 1) r;
+      attach (r + 1) hi r
+    end
+  in
+  attach 0 (n - 1) Topology.nil;
+  (* Refresh labels bottom-up over the whole tree. *)
+  let rec refresh v =
+    if v <> Topology.nil then begin
+      refresh (Topology.left t v);
+      refresh (Topology.right t v);
+      Topology.refresh_local t v
+    end
+  in
+  refresh (Topology.root t);
+  t
+
+let balanced n = of_interval_roots n (fun ~lo ~hi -> (lo + hi) / 2)
+let path n = of_interval_roots n (fun ~lo ~hi:_ -> lo)
+
+let of_insertions n order =
+  let seen = Array.make n false in
+  let count = ref 0 in
+  List.iter
+    (fun k ->
+      if k < 0 || k >= n || seen.(k) then
+        invalid_arg "Build.of_insertions: not a permutation";
+      seen.(k) <- true;
+      incr count)
+    order;
+  if !count <> n then invalid_arg "Build.of_insertions: not a permutation";
+  match order with
+  | [] -> invalid_arg "Build.of_insertions: empty order"
+  | root :: rest ->
+      let t = Topology.create ~n ~root in
+      let insert k =
+        let rec descend v =
+          if k < v then
+            let l = Topology.left t v in
+            if l = Topology.nil then Topology.set_child t ~parent:v ~child:k
+            else descend l
+          else
+            let r = Topology.right t v in
+            if r = Topology.nil then Topology.set_child t ~parent:v ~child:k
+            else descend r
+        in
+        descend root
+      in
+      List.iter insert rest;
+      let rec refresh v =
+        if v <> Topology.nil then begin
+          refresh (Topology.left t v);
+          refresh (Topology.right t v);
+          Topology.refresh_local t v
+        end
+      in
+      refresh root;
+      t
+
+let random rng n =
+  let order = Array.init n (fun i -> i) in
+  Simkit.Rng.shuffle rng order;
+  of_insertions n (Array.to_list order)

@@ -1,0 +1,24 @@
+(** Structural invariant checkers, used by tests and by simulators in
+    debug mode.  Each check returns [Ok ()] or a description of the
+    first violation found. *)
+
+val structure : Topology.t -> (unit, string) result
+(** Parent/child links are mutually consistent, every node is reachable
+    from the root exactly once, and there are no cycles. *)
+
+val bst_order : Topology.t -> (unit, string) result
+(** In-order traversal yields [0, 1, ..., n-1]. *)
+
+val interval_labels : Topology.t -> (unit, string) result
+(** Every node's [smallest]/[largest] equal the true subtree min/max. *)
+
+val weights : ?counters:int array -> Topology.t -> (unit, string) result
+(** Every node's weight equals its counter plus its children's weights
+    and counters are non-negative; when [counters] is given, the
+    derived counters must equal it. *)
+
+val all : ?counters:int array -> Topology.t -> (unit, string) result
+(** All of the above in sequence. *)
+
+val assert_ok : (unit, string) result -> unit
+(** @raise Failure with the violation description on [Error]. *)

@@ -1,0 +1,41 @@
+let to_dot ?(name = "cbnet") ?(highlight = []) ?show_weights t =
+  let buf = Buffer.create 1024 in
+  let weighted =
+    match show_weights with
+    | Some b -> b
+    | None ->
+        let any = ref false in
+        Topology.iter_subtree t (Topology.root t) (fun v ->
+            if Topology.weight t v <> 0 then any := true);
+        !any
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  Topology.iter_subtree t (Topology.root t) (fun v ->
+      let label =
+        if weighted then Printf.sprintf "%d\\nw=%d" v (Topology.weight t v)
+        else string_of_int v
+      in
+      let style =
+        if List.mem v highlight then ", style=filled, fillcolor=lightblue"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v label style));
+  Topology.iter_subtree t (Topology.root t) (fun v ->
+      let edge child tag =
+        if child <> Topology.nil then
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%s\", fontsize=8];\n" v child
+               tag)
+      in
+      edge (Topology.left t v) "L";
+      edge (Topology.right t v) "R");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot ?name ?highlight ?show_weights t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?highlight ?show_weights t))

@@ -1,0 +1,17 @@
+(** Graphviz DOT rendering of network topologies — for inspecting what
+    the algorithms actually built ([dot -Tsvg]). *)
+
+val to_dot :
+  ?name:string ->
+  ?highlight:int list ->
+  ?show_weights:bool ->
+  Topology.t ->
+  string
+(** A digraph with one node per key, edges parent→child, [highlight]ed
+    nodes filled, and weights in the labels when [show_weights] (the
+    default when any weight is non-zero). *)
+
+val write_dot :
+  ?name:string -> ?highlight:int list -> ?show_weights:bool ->
+  Topology.t -> string -> unit
+(** {!to_dot} into a file. *)

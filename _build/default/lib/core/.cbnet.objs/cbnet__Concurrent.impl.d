@@ -1,0 +1,1 @@
+lib/core/concurrent.ml: Array Bstnet Config List Message Protocol Run_stats Simkit Step

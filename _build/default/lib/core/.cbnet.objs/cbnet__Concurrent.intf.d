@@ -1,0 +1,1 @@
+lib/core/concurrent.mli: Bstnet Config Run_stats Simkit

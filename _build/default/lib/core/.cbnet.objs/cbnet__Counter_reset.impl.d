@@ -1,0 +1,1 @@
+lib/core/counter_reset.ml: Array Bstnet Concurrent Config Float Run_stats Sequential Simkit

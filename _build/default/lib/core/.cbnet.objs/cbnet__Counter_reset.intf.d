@@ -1,0 +1,1 @@
+lib/core/counter_reset.mli: Bstnet Config Run_stats

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Bstnet List Message Step

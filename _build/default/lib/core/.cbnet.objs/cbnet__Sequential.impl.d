@@ -1,0 +1,1 @@
+lib/core/sequential.ml: Array Bstnet Config Message Protocol Run_stats

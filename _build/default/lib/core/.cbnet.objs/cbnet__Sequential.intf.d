@@ -1,0 +1,1 @@
+lib/core/sequential.mli: Bstnet Config Run_stats

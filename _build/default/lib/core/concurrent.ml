@@ -1,0 +1,185 @@
+module T = Bstnet.Topology
+module M = Message
+
+type state = {
+  config : Config.t;
+  t : T.t;
+  trace : (int * int * int) array;
+  window : int;  (* admission control: max data messages in flight *)
+  mutable next_inject : int;  (* index into trace *)
+  mutable next_id : int;
+  mutable active : M.t list;  (* undelivered, kept priority-sorted *)
+  mutable finished : M.t list;
+  mutable spawned : M.t list;  (* updates born this round, join next round *)
+  (* Per-round cluster claims: claimed_round.(v) = r when v is locked in
+     round r; claimed_rot.(v) tells whether the claiming step rotates. *)
+  claimed_round : int array;
+  claimed_rot : bool array;
+  mutable live : int;  (* undelivered messages, data + update *)
+  mutable live_data : int;  (* undelivered data messages in flight *)
+}
+
+let validate t trace =
+  let n = T.n t in
+  let last_birth = ref min_int in
+  Array.iter
+    (fun (birth, src, dst) ->
+      if birth < !last_birth then invalid_arg "Concurrent.run: trace not sorted";
+      last_birth := birth;
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Concurrent.run: endpoint out of range")
+    trace
+
+let create config ~window t trace =
+  validate t trace;
+  if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
+  {
+    config;
+    t;
+    trace;
+    window;
+    next_inject = 0;
+    next_id = 0;
+    active = [];
+    finished = [];
+    spawned = [];
+    claimed_round = Array.make (T.n t) (-1);
+    claimed_rot = Array.make (T.n t) false;
+    live = 0;
+    live_data = 0;
+  }
+
+let fresh_id st =
+  let id = st.next_id in
+  st.next_id <- st.next_id + 1;
+  id
+
+let finish st (msg : M.t) ~round =
+  msg.M.delivered <- true;
+  msg.M.end_time <- round;
+  st.finished <- msg :: st.finished;
+  st.live <- st.live - 1;
+  if msg.M.kind = M.Data then st.live_data <- st.live_data - 1
+
+(* The spawn callback shared by all protocol entry points: the update
+   message becomes active in the next round.  It inherits its parent's
+   birth time (priority): the update is part of serving that request,
+   and a freshly-stamped update would be starved forever behind the
+   steady stream of older data messages. *)
+let spawner st ~round ~birth ~origin ~first_increment =
+  T.add_weight st.t origin first_increment;
+  let u = M.weight_update ~id:(fresh_id st) ~origin ~birth in
+  st.live <- st.live + 1;
+  if T.is_root st.t origin then finish st u ~round
+  else st.spawned <- u :: st.spawned
+
+let inject st ~round =
+  let injected = ref [] in
+  let continue_ = ref true in
+  while
+    !continue_
+    && st.next_inject < Array.length st.trace
+    && st.live_data < st.window
+  do
+    let birth, src, dst = st.trace.(st.next_inject) in
+    if birth > round then continue_ := false
+    else begin
+      st.next_inject <- st.next_inject + 1;
+      let msg = M.data ~id:(fresh_id st) ~src ~dst ~birth in
+      st.live <- st.live + 1;
+      st.live_data <- st.live_data + 1;
+      Protocol.born st.t ~spawn:(spawner st ~round ~birth) msg;
+      if msg.M.delivered then finish st msg ~round
+      else injected := msg :: !injected
+    end
+  done;
+  List.rev !injected
+
+let cluster_conflict st ~round plan =
+  (* Returns [None] when free, [Some was_rotation] describing the
+     already-claimed step we collide with. *)
+  let rec go = function
+    | [] -> None
+    | v :: rest ->
+        if st.claimed_round.(v) = round then Some st.claimed_rot.(v) else go rest
+  in
+  go plan.Step.cluster
+
+let claim st ~round plan =
+  List.iter
+    (fun v ->
+      st.claimed_round.(v) <- round;
+      st.claimed_rot.(v) <- plan.Step.rotate)
+    plan.Step.cluster
+
+let tick st round =
+  (* Newly admitted data messages and updates spawned last round enter
+     the priority list; both batches are small, so sorting them and
+     merging into the already-sorted list keeps the round linear. *)
+  let injected = inject st ~round in
+  let newcomers = List.sort M.priority_compare (st.spawned @ injected) in
+  st.spawned <- [];
+  let by_priority = List.merge M.priority_compare st.active newcomers in
+  let still_active = ref [] in
+  List.iter
+    (fun (msg : M.t) ->
+      if not msg.M.delivered then begin
+        let spawn = spawner st ~round ~birth:msg.M.birth in
+        (match Protocol.begin_turn st.config st.t ~spawn msg with
+        | Protocol.Delivered -> finish st msg ~round
+        | Protocol.Plan plan -> (
+            match cluster_conflict st ~round plan with
+            | Some was_rotation ->
+                if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
+                else msg.M.pauses <- msg.M.pauses + 1
+            | None ->
+                claim st ~round plan;
+                Protocol.apply_step st.t ~spawn msg plan;
+                if msg.M.delivered then finish st msg ~round));
+        if not msg.M.delivered then still_active := msg :: !still_active
+      end)
+    by_priority;
+  st.active <- List.rev !still_active
+
+let scheduler ?(config = Config.default) ?window t trace =
+  let window = match window with Some w -> w | None -> max 64 (T.n t) in
+  let st = create config ~window t trace in
+  let sched =
+    {
+      Simkit.Engine.label = "cbn";
+      tick = (fun round -> tick st round);
+      is_done =
+        (fun () -> st.next_inject >= Array.length st.trace && st.live = 0);
+    }
+  in
+  let finalize rounds =
+    Run_stats.of_messages ~config ~rounds (st.finished @ st.active)
+  in
+  (sched, finalize)
+
+let run ?(config = Config.default) ?window ?max_rounds t trace =
+  let sched, finalize = scheduler ~config ?window t trace in
+  let rounds = Simkit.Engine.run_exn ?max_rounds sched in
+  finalize rounds
+
+let run_with_latencies ?(config = Config.default) ?window ?max_rounds t trace =
+  let window = match window with Some w -> w | None -> max 64 (T.n t) in
+  let st = create config ~window t trace in
+  let sched =
+    {
+      Simkit.Engine.label = "cbn";
+      tick = (fun round -> tick st round);
+      is_done = (fun () -> st.next_inject >= Array.length st.trace && st.live = 0);
+    }
+  in
+  let rounds = Simkit.Engine.run_exn ?max_rounds sched in
+  let latencies =
+    List.filter_map
+      (fun (msg : M.t) ->
+        match msg.M.kind with
+        | M.Data -> Some (float_of_int (msg.M.end_time - msg.M.birth))
+        | M.Weight_update -> None)
+      st.finished
+    |> Array.of_list
+  in
+  (Run_stats.of_messages ~config ~rounds st.finished, latencies)

@@ -1,0 +1,58 @@
+(** Concurrent CBNet (Sec. VII) — the CBN algorithm of the paper.
+
+    Execution is organised in synchronous rounds.  In every round each
+    in-flight message (data and weight-update alike), visited in
+    priority order (birth time, then id — Sec. VII-A rule 1), plans its
+    step and computes the step's cluster (Def. 6).  If the cluster is
+    disjoint from all clusters already claimed this round the step
+    executes; otherwise the message records a conflict — a {e pause}
+    when the winning step was of type routing, a {e bypass} when it was
+    a rotation (Def. 7) — and retries next round.  The highest-priority
+    message is never blocked, which gives liveness.
+
+    Unlike DiSplayNet, the source and destination nodes are never
+    locked for the lifetime of a request: nodes are only ever claimed
+    for the single round in which a step touches them. *)
+
+val run :
+  ?config:Config.t ->
+  ?window:int ->
+  ?max_rounds:int ->
+  Bstnet.Topology.t ->
+  (int * int * int) array ->
+  Run_stats.t
+(** [run t trace] executes [(birth, src, dst)] requests (sorted by
+    birth) concurrently on [t], mutating it, and runs until both all
+    data messages and all weight-update messages have drained.
+
+    [window] (default [max 64 n]) is source-side admission control: at
+    most that many data messages are in the network simultaneously;
+    later requests wait at their sources (their original birth time
+    still anchors priority and makespan, so queueing is charged to the
+    makespan).  This bounds the per-round simulation cost under
+    saturation without affecting which steps conflict.
+
+    @raise Invalid_argument on an unsorted trace or bad endpoints.
+    @raise Simkit.Engine.Budget_exhausted if rounds exceed [max_rounds]
+    (a liveness failure, not a legitimate outcome). *)
+
+val run_with_latencies :
+  ?config:Config.t ->
+  ?window:int ->
+  ?max_rounds:int ->
+  Bstnet.Topology.t ->
+  (int * int * int) array ->
+  Run_stats.t * float array
+(** Like {!run}, additionally returning each data message's delivery
+    latency (rounds from birth to delivery, source queueing included)
+    for distribution analyses. *)
+
+val scheduler :
+  ?config:Config.t ->
+  ?window:int ->
+  Bstnet.Topology.t ->
+  (int * int * int) array ->
+  Simkit.Engine.scheduler * (int -> Run_stats.t)
+(** Lower-level access for embedding in a larger simulation: returns
+    the engine scheduler plus a finalizer producing the statistics
+    given the executed round count. *)

@@ -1,0 +1,9 @@
+type t = { delta : float; rotation_cost : float }
+
+let default = { delta = 2.0; rotation_cost = 1.0 }
+
+let make ?(delta = 2.0) ?(rotation_cost = 1.0) () =
+  if delta <= 0.0 || delta > 2.0 then
+    invalid_arg "Config.make: delta must be in (0, 2]";
+  if rotation_cost < 0.0 then invalid_arg "Config.make: rotation_cost < 0";
+  { delta; rotation_cost }

@@ -1,0 +1,18 @@
+(** Tunable parameters of CBNet. *)
+
+type t = {
+  delta : float;
+      (** Rotation threshold [δ ∈ (0, 2]] of Algorithm 1: a rotation is
+          performed only when it decreases the network potential by
+          more than [δ].  The paper's implementation uses [2.0]. *)
+  rotation_cost : float;
+      (** Cost [R] of one rotation relative to forwarding over one
+          link.  The paper's experiments use [R = 1]. *)
+}
+
+val default : t
+(** [{ delta = 2.0; rotation_cost = 1.0 }] — the paper's setting. *)
+
+val make : ?delta:float -> ?rotation_cost:float -> unit -> t
+(** @raise Invalid_argument when [delta] is outside [(0, 2]] or
+    [rotation_cost] is negative. *)

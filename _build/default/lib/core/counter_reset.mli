@@ -1,0 +1,40 @@
+(** Counter resetting — the extension the paper sketches in its final
+    remarks (Sec. IX-D): on an infinite request sequence the counters
+    make the topology ever more static, so older requests should
+    contribute less to the weights used in potential computations.
+
+    The decay operation multiplies every node counter by a factor in
+    [0, 1) (rounding down, keeping weights consistent bottom-up).
+    [run_sequential] serves a trace in chunks of [every] messages with
+    a decay between chunks — the ablation harness compares it against
+    plain {!Sequential.run} on drifting workloads. *)
+
+val decay : Bstnet.Topology.t -> factor:float -> unit
+(** Scale all counters by [factor] and rebuild the subtree weights.
+    O(n).  @raise Invalid_argument unless [0 <= factor < 1]. *)
+
+val run_concurrent :
+  ?config:Config.t ->
+  ?window:int ->
+  ?max_rounds:int ->
+  every_rounds:int ->
+  factor:float ->
+  Bstnet.Topology.t ->
+  (int * int * int) array ->
+  Run_stats.t
+(** Concurrent CBNet with a decay every [every_rounds] rounds.  The
+    decay is applied as an idealized global maintenance pass between
+    rounds (a distributed implementation would stagger it; the
+    ablation only needs the cost/benefit trade-off). *)
+
+val run_sequential :
+  ?config:Config.t ->
+  every:int ->
+  factor:float ->
+  Bstnet.Topology.t ->
+  (int * int * int) array ->
+  Run_stats.t
+(** Like {!Sequential.run} with a decay after every [every] messages.
+    Statistics are accumulated across chunks; the makespan is the sum
+    of chunk makespans (decay itself is charged [n] slots of
+    maintenance time, one per node). *)

@@ -1,0 +1,50 @@
+type kind = Data | Weight_update
+type phase = Climbing | Descending
+
+type t = {
+  id : int;
+  kind : kind;
+  src : int;
+  dst : int;
+  birth : int;
+  mutable current : int;
+  mutable phase : phase;
+  mutable up_credit : int;
+  mutable update_spawned : bool;
+  mutable delivered : bool;
+  mutable end_time : int;
+  mutable hops : int;
+  mutable rotations : int;
+  mutable steps : int;
+  mutable pauses : int;
+  mutable bypasses : int;
+}
+
+let make ~id ~kind ~src ~dst ~birth =
+  {
+    id;
+    kind;
+    src;
+    dst;
+    birth;
+    current = src;
+    phase = Climbing;
+    up_credit = Bstnet.Topology.nil;
+    update_spawned = false;
+    delivered = false;
+    end_time = -1;
+    hops = 0;
+    rotations = 0;
+    steps = 0;
+    pauses = 0;
+    bypasses = 0;
+  }
+
+let data ~id ~src ~dst ~birth = make ~id ~kind:Data ~src ~dst ~birth
+
+let weight_update ~id ~origin ~birth =
+  make ~id ~kind:Weight_update ~src:origin ~dst:Bstnet.Topology.nil ~birth
+
+let priority_compare a b =
+  let c = compare a.birth b.birth in
+  if c <> 0 then c else compare a.id b.id

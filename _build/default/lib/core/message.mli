@@ -1,0 +1,44 @@
+(** In-flight message state.
+
+    CBNet is message-oriented: a data message travels from its source
+    bottom-up to the LCA with its destination, then top-down; at the
+    LCA it spawns a small root-bound weight-update control message
+    (Algorithm 1, lines 2-3) that carries no data but is still subject
+    to rotation steps and is included in the work cost. *)
+
+type kind = Data | Weight_update
+
+type phase =
+  | Climbing  (** Heading for the LCA (or the root, for an update). *)
+  | Descending  (** Past the LCA, heading for the destination. *)
+
+type t = {
+  id : int;  (** Unique; breaks priority ties deterministically. *)
+  kind : kind;
+  src : int;
+  dst : int;  (** [Bstnet.Topology.nil] for weight updates (root-bound). *)
+  birth : int;  (** Time slot of generation; the priority of Sec. VII. *)
+  mutable current : int;
+  mutable phase : phase;
+  mutable up_credit : int;
+      (** Last node that received this message's climb increment, or
+          [nil]; decides whether an LCA discovered in place still needs
+          +1 or the full +2. *)
+  mutable update_spawned : bool;
+      (** A message spawns at most one weight update, even if a bypass
+          forces it to re-climb to a fresh LCA. *)
+  mutable delivered : bool;
+  mutable end_time : int;
+  mutable hops : int;  (** Forwarding operations performed (routing cost). *)
+  mutable rotations : int;  (** Elementary rotations performed. *)
+  mutable steps : int;
+  mutable pauses : int;  (** Conflicts suffered where the winner routed. *)
+  mutable bypasses : int;  (** Conflicts suffered where the winner rotated. *)
+}
+
+val data : id:int -> src:int -> dst:int -> birth:int -> t
+val weight_update : id:int -> origin:int -> birth:int -> t
+
+val priority_compare : t -> t -> int
+(** Earlier birth first, then smaller id — the total order used for
+    the prioritization rule of Sec. VII-A. *)

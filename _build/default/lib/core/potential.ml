@@ -1,0 +1,41 @@
+module T = Bstnet.Topology
+
+let log2 = Float.log2
+
+let rank w = if w <= 1 then 0.0 else log2 (float_of_int w)
+
+let node_rank t v = rank (T.weight t v)
+
+let phi t =
+  let acc = ref 0.0 in
+  T.iter_subtree t (T.root t) (fun v -> acc := !acc +. node_rank t v);
+  !acc
+
+let weight_opt t v = if v = T.nil then 0 else T.weight t v
+
+(* The subtree that a single rotation transfers from the promoted node
+   to its demoted parent: the child on the opposite side of the
+   promoted node's own position. *)
+let transferred_child t c =
+  if T.is_left_child t c then T.right t c else T.left t c
+
+let delta_promote t c =
+  let p = T.parent t c in
+  if p = T.nil then invalid_arg "Potential.delta_promote: node is the root";
+  let wp' = T.weight t p - T.weight t c + weight_opt t (transferred_child t c) in
+  (* c inherits p's total weight, so its rank change cancels p's old
+     rank; only the demoted parent's new rank matters. *)
+  rank wp' -. rank (T.weight t c)
+
+let delta_double_promote t c =
+  let p = T.parent t c in
+  if p = T.nil then invalid_arg "Potential.delta_double_promote: node is the root";
+  let g = T.parent t p in
+  if g = T.nil then invalid_arg "Potential.delta_double_promote: no grandparent";
+  let t1 = transferred_child t c in
+  (* After the first rotation c sits in p's old position, so its second
+     transferred child is its other original child. *)
+  let t2 = if t1 = T.left t c then T.right t c else T.left t c in
+  let wp' = T.weight t p - T.weight t c + weight_opt t t1 in
+  let wg' = T.weight t g - T.weight t p + weight_opt t t2 in
+  rank wp' +. rank wg' -. rank (T.weight t c) -. rank (T.weight t p)

@@ -1,0 +1,65 @@
+type t = {
+  messages : int;
+  routing_hops : int;
+  routing_cost : int;
+  rotations : int;
+  work : float;
+  makespan : int;
+  throughput : float;
+  steps : int;
+  pauses : int;
+  bypasses : int;
+  update_messages : int;
+  rounds : int;
+}
+
+let of_messages ~config ~rounds msgs =
+  let messages = ref 0 in
+  let hops = ref 0 in
+  let rotations = ref 0 in
+  let steps = ref 0 in
+  let pauses = ref 0 in
+  let bypasses = ref 0 in
+  let updates = ref 0 in
+  let first_birth = ref max_int in
+  let last_end = ref 0 in
+  List.iter
+    (fun (m : Message.t) ->
+      hops := !hops + m.hops;
+      rotations := !rotations + m.rotations;
+      steps := !steps + m.steps;
+      pauses := !pauses + m.pauses;
+      bypasses := !bypasses + m.bypasses;
+      match m.kind with
+      | Message.Data ->
+          incr messages;
+          if m.birth < !first_birth then first_birth := m.birth;
+          if m.end_time > !last_end then last_end := m.end_time
+      | Message.Weight_update -> incr updates)
+    msgs;
+  let routing_cost = !hops + !messages in
+  let makespan = if !messages = 0 then 0 else max 1 (!last_end - !first_birth) in
+  {
+    messages = !messages;
+    routing_hops = !hops;
+    routing_cost;
+    rotations = !rotations;
+    work =
+      float_of_int routing_cost
+      +. (config.Config.rotation_cost *. float_of_int !rotations);
+    makespan;
+    throughput =
+      (if !messages = 0 then 0.0 else float_of_int !messages /. float_of_int makespan);
+    steps = !steps;
+    pauses = !pauses;
+    bypasses = !bypasses;
+    update_messages = !updates;
+    rounds;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "m=%d routing=%d (hops=%d) rotations=%d work=%.0f makespan=%d \
+     throughput=%.4f steps=%d pauses=%d bypasses=%d updates=%d rounds=%d"
+    t.messages t.routing_cost t.routing_hops t.rotations t.work t.makespan
+    t.throughput t.steps t.pauses t.bypasses t.update_messages t.rounds

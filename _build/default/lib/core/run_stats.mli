@@ -1,0 +1,27 @@
+(** Aggregate cost accounting of one execution, following the cost
+    model of Sec. II (Def. 1-3). *)
+
+type t = {
+  messages : int;  (** [m], number of data messages in σ. *)
+  routing_hops : int;
+      (** Total forwarding operations, data and update messages. *)
+  routing_cost : int;
+      (** [D(A, T0, σ) = Σ (d_ei + 1)]: hops plus one per data message. *)
+  rotations : int;  (** [Σ ρ_i], elementary rotations (updates included). *)
+  work : float;  (** [C = D + R · Σ ρ_i]. *)
+  makespan : int;  (** [max e_i - min b_i] over data messages (Def. 2). *)
+  throughput : float;  (** [m / makespan]. *)
+  steps : int;  (** Steps executed (data and update messages). *)
+  pauses : int;  (** Routing-vs-routing conflicts (concurrent only). *)
+  bypasses : int;  (** Rotation-under-message conflicts (concurrent only). *)
+  update_messages : int;  (** Weight-update control messages emitted. *)
+  rounds : int;  (** Rounds until full quiescence (updates drained). *)
+}
+
+val of_messages :
+  config:Config.t -> rounds:int -> Message.t list -> t
+(** Fold delivered messages into the aggregate.  Data messages
+    contribute to [routing_cost]'s +1 term and to the makespan;
+    update messages contribute hops and rotations only. *)
+
+val pp : Format.formatter -> t -> unit

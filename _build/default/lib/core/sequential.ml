@@ -1,0 +1,65 @@
+module T = Bstnet.Topology
+module M = Message
+
+let validate t trace =
+  let n = T.n t in
+  let last_birth = ref min_int in
+  Array.iter
+    (fun (birth, src, dst) ->
+      if birth < !last_birth then invalid_arg "Sequential.run: trace not sorted";
+      last_birth := birth;
+      if src < 0 || src >= n || dst < 0 || dst >= n then
+        invalid_arg "Sequential.run: endpoint out of range")
+    trace
+
+(* A message's climb and descent are both bounded by the tree height,
+   and sequential execution has no bypass re-climbs; this budget only
+   trips on a genuine progress bug. *)
+let step_budget t = (8 * T.n t) + 64
+
+let drive config t ~spawn msg =
+  let budget = ref (step_budget t) in
+  while not msg.M.delivered do
+    decr budget;
+    if !budget < 0 then failwith "Sequential.run: message failed to progress";
+    match Protocol.begin_turn config t ~spawn msg with
+    | Protocol.Delivered -> msg.M.delivered <- true
+    | Protocol.Plan plan ->
+        Protocol.apply_step t ~spawn msg plan
+  done
+
+let run ?(config = Config.default) t trace =
+  validate t trace;
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let finished = ref [] in
+  let clock = ref 0 in
+  Array.iter
+    (fun (birth, src, dst) ->
+      let msg = M.data ~id:(fresh_id ()) ~src ~dst ~birth in
+      let pending_update = ref None in
+      let spawn ~origin ~first_increment =
+        T.add_weight t origin first_increment;
+        let u = M.weight_update ~id:(fresh_id ()) ~origin ~birth:!clock in
+        if T.is_root t origin then u.M.delivered <- true;
+        pending_update := Some u
+      in
+      clock := max !clock birth;
+      Protocol.born t ~spawn msg;
+      if not msg.M.delivered then drive config t ~spawn msg;
+      clock := !clock + max 1 msg.M.steps;
+      msg.M.end_time <- !clock;
+      (match !pending_update with
+      | Some u ->
+          drive config t ~spawn u;
+          clock := !clock + u.M.steps;
+          u.M.end_time <- !clock;
+          finished := u :: !finished
+      | None -> ());
+      finished := msg :: !finished)
+    trace;
+  Run_stats.of_messages ~config ~rounds:!clock !finished

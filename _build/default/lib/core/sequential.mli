@@ -1,0 +1,17 @@
+(** Sequential CBNet (Algorithm 1) — the SCBN baseline of Sec. IX-A.
+
+    Messages are served one at a time in arrival order by a global
+    scheduler: each data message runs to delivery, then its weight
+    update message runs to the root, each step taking one time slot.
+    The makespan therefore reflects full serialization, which is what
+    the paper's SCBN/SN baselines measure. *)
+
+val run :
+  ?config:Config.t ->
+  Bstnet.Topology.t ->
+  (int * int * int) array ->
+  Run_stats.t
+(** [run t trace] executes the requests [(birth, src, dst)] — which
+    must be sorted by birth time — on topology [t], mutating it.
+    @raise Invalid_argument on an unsorted trace or out-of-range
+    endpoints. *)

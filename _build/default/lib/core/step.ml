@@ -1,0 +1,196 @@
+module T = Bstnet.Topology
+
+type kind =
+  | Bu_zig
+  | Bu_semi_zig_zig
+  | Bu_semi_zig_zag
+  | Td_zig
+  | Td_semi_zig_zig
+  | Td_semi_zig_zag
+
+let kind_to_string = function
+  | Bu_zig -> "bu-zig"
+  | Bu_semi_zig_zig -> "bu-semi-zig-zig"
+  | Bu_semi_zig_zag -> "bu-semi-zig-zag"
+  | Td_zig -> "td-zig"
+  | Td_semi_zig_zig -> "td-semi-zig-zig"
+  | Td_semi_zig_zag -> "td-semi-zig-zag"
+
+type t = {
+  current : int;
+  dst : int;
+  kind : kind;
+  delta_phi : float;
+  rotate : bool;
+  rotations : int;
+  hops : int;
+  new_current : int;
+  passed : int list;
+  cluster : int list;
+}
+
+let cons_if_real v rest = if v = T.nil then rest else v :: rest
+
+(* The climb of a message ends at the LCA with its destination; the
+   climb of a weight-update message (dst = nil) ends at the root. *)
+let climb_continues t ~node ~dst =
+  if dst = T.nil then T.parent t node <> T.nil
+  else T.direction_to t ~src:node ~dst = T.Up
+
+let plan_up config t ~current:x ~dst =
+  let p = T.parent t x in
+  if p = T.nil then invalid_arg "Step.plan_up: current node is the root";
+  if not (climb_continues t ~node:p ~dst) then begin
+    (* p is the top of this climb (the LCA, or the root for an update
+       message): one-level zig boundary step.  A weight-update message
+       must terminate by delivering its +2 at the standing root — its
+       contract is to increment all of P(LCA, r) (Algorithm 1, line 3)
+       — so it forwards here instead of rotating itself above the
+       root. *)
+    let delta_phi = Potential.delta_promote t x in
+    let rotate =
+      delta_phi < -.config.Config.delta && not (dst = T.nil && T.is_root t p)
+    in
+    let g = T.parent t p in
+    {
+      current = x;
+      dst;
+      kind = Bu_zig;
+      delta_phi;
+      rotate;
+      rotations = (if rotate then 1 else 0);
+      hops = (if rotate then 0 else 1);
+      new_current = (if rotate then x else p);
+      passed = (if rotate then [] else [ p ]);
+      cluster = (if rotate then cons_if_real g [ x; p ] else [ x; p ]);
+    }
+  end
+  else begin
+    let g = T.parent t p in
+    let same_side = T.is_left_child t x = T.is_left_child t p in
+    if same_side then begin
+      (* Semi zig-zig: one rotation promoting p over g; the message
+         hops to p, which now sits two levels higher. *)
+      let delta_phi = Potential.delta_promote t p in
+      let rotate = delta_phi < -.config.Config.delta in
+      let gg = T.parent t g in
+      {
+        current = x;
+        dst;
+        kind = Bu_semi_zig_zig;
+        delta_phi;
+        rotate;
+        rotations = (if rotate then 1 else 0);
+        hops = (if rotate then 0 else 2);
+        new_current = (if rotate then p else g);
+        passed = (if rotate then [ p ] else [ p; g ]);
+        cluster = (if rotate then cons_if_real gg [ x; p; g ] else [ x; p; g ]);
+      }
+    end
+    else begin
+      (* Semi zig-zag: double rotation promoting x to the grandparent's
+         position; the message stays on x.  As in the boundary case, an
+         update message never promotes itself onto the root — it must
+         end its climb by delivering +2 there. *)
+      let delta_phi = Potential.delta_double_promote t x in
+      let rotate =
+        delta_phi < -.config.Config.delta && not (dst = T.nil && T.is_root t g)
+      in
+      let gg = T.parent t g in
+      {
+        current = x;
+        dst;
+        kind = Bu_semi_zig_zag;
+        delta_phi;
+        rotate;
+        rotations = (if rotate then 2 else 0);
+        hops = (if rotate then 0 else 2);
+        new_current = (if rotate then x else g);
+        passed = (if rotate then [] else [ p; g ]);
+        cluster = (if rotate then cons_if_real gg [ x; p; g ] else [ x; p; g ]);
+      }
+    end
+  end
+
+let plan_down config t ~current:x ~dst =
+  let y = T.next_hop t ~src:x ~dst in
+  let px = T.parent t x in
+  if y = dst then begin
+    (* One level left: zig boundary case promoting the destination. *)
+    let delta_phi = Potential.delta_promote t y in
+    let rotate = delta_phi < -.config.Config.delta in
+    {
+      current = x;
+      dst;
+      kind = Td_zig;
+      delta_phi;
+      rotate;
+      rotations = (if rotate then 1 else 0);
+      hops = (if rotate then 0 else 1);
+      new_current = y;
+      passed = [ y ];
+      cluster = (if rotate then cons_if_real px [ x; y ] else [ x; y ]);
+    }
+  end
+  else begin
+    let z = T.next_hop t ~src:y ~dst in
+    let same_side = (y = T.left t x) = (z = T.left t y) in
+    if same_side then begin
+      (* Semi zig-zig: promote y over x; the path below is pulled one
+         level up and the message lands on z. *)
+      let delta_phi = Potential.delta_promote t y in
+      let rotate = delta_phi < -.config.Config.delta in
+      {
+        current = x;
+        dst;
+        kind = Td_semi_zig_zig;
+        delta_phi;
+        rotate;
+        rotations = (if rotate then 1 else 0);
+        hops = (if rotate then 0 else 2);
+        new_current = z;
+        passed = [ y; z ];
+        cluster = (if rotate then cons_if_real px [ x; y; z ] else [ x; y; z ]);
+      }
+    end
+    else begin
+      (* Semi zig-zag: double-promote z to x's old position; y and x
+         drop off the remaining path and the message lands on z. *)
+      let delta_phi = Potential.delta_double_promote t z in
+      let rotate = delta_phi < -.config.Config.delta in
+      {
+        current = x;
+        dst;
+        kind = Td_semi_zig_zag;
+        delta_phi;
+        rotate;
+        rotations = (if rotate then 2 else 0);
+        hops = (if rotate then 0 else 2);
+        new_current = z;
+        passed = (if rotate then [ z ] else [ y; z ]);
+        cluster = (if rotate then cons_if_real px [ x; y; z ] else [ x; y; z ]);
+      }
+    end
+  end
+
+let plan config t ~current ~dst =
+  match T.direction_to t ~src:current ~dst with
+  | T.Here -> None
+  | T.Up -> Some (plan_up config t ~current ~dst)
+  | T.Down_left | T.Down_right -> Some (plan_down config t ~current ~dst)
+
+let execute t plan =
+  if plan.rotate then
+    match plan.kind with
+    | Bu_zig -> T.rotate_up t plan.current
+    | Bu_semi_zig_zig -> T.rotate_up t (T.parent t plan.current)
+    | Bu_semi_zig_zag ->
+        T.rotate_up t plan.current;
+        T.rotate_up t plan.current
+    | Td_zig | Td_semi_zig_zig ->
+        T.rotate_up t (T.next_hop t ~src:plan.current ~dst:plan.dst)
+    | Td_semi_zig_zag ->
+        let y = T.next_hop t ~src:plan.current ~dst:plan.dst in
+        let z = T.next_hop t ~src:y ~dst:plan.dst in
+        T.rotate_up t z;
+        T.rotate_up t z

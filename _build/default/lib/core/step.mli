@@ -1,0 +1,62 @@
+(** Planning and execution of CBNet steps (Def. 5 of the paper).
+
+    A step is taken by the current node [x] of a message heading to
+    key [dst].  It spans up to two tree levels: the node inspects its
+    ≤2-hop neighbourhood, classifies the local shape (zig / semi
+    zig-zig / semi zig-zag, bottom-up or top-down), predicts the
+    potential change [ΔΦ] the corresponding semi-splay rotation would
+    cause, and decides — rotate if [ΔΦ < -δ], forward otherwise
+    (Algorithm 1, lines 4-10).
+
+    [plan] performs the read-only decision; [execute] carries a plan
+    out.  The two are separated so that the concurrent engine can
+    compute a plan's {!cluster} and test it for conflicts before
+    committing (Sec. VII). *)
+
+type kind =
+  | Bu_zig  (** one level from the top of the climb: promote [x] over its parent *)
+  | Bu_semi_zig_zig  (** same-side climb: promote the parent over the grandparent; message moves to the parent *)
+  | Bu_semi_zig_zag  (** opposite-side climb: double-promote [x]; message stays on [x] *)
+  | Td_zig  (** one level left to the destination: promote the child *)
+  | Td_semi_zig_zig  (** same-side descent: promote the child; message lands two levels down *)
+  | Td_semi_zig_zag  (** opposite-side descent: double-promote the grandchild; message lands on it *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  current : int;  (** Node taking the step. *)
+  dst : int;  (** Message destination key ([-1] for root-bound weight updates). *)
+  kind : kind;  (** The rotation this step would perform. *)
+  delta_phi : float;  (** Predicted potential change of that rotation. *)
+  rotate : bool;  (** True when [delta_phi < -δ]: the step is of type rotation. *)
+  rotations : int;  (** Number of elementary rotations if [rotate] (1 or 2). *)
+  hops : int;  (** Routing hops if [not rotate] (1 or 2). *)
+  new_current : int;  (** Where the message sits after the step. *)
+  passed : int list;
+      (** Nodes (in travel order, ending with [new_current] when the
+          message moves) that newly carry the message's path and must
+          receive weight increments — see {!Sequential}. *)
+  cluster : int list;
+      (** The cluster K_t of Def. 6: nodes locked by this step. *)
+}
+
+val plan_up : Config.t -> Bstnet.Topology.t -> current:int -> dst:int -> t
+(** Plan a bottom-up step (direction Up).  The climb stops at the LCA
+    with [dst]; pass [dst = Bstnet.Topology.nil] for a root-bound
+    weight-update message, whose climb stops only at the root.
+    @raise Invalid_argument when [current] is the root. *)
+
+val plan_down : Config.t -> Bstnet.Topology.t -> current:int -> dst:int -> t
+(** Plan a top-down step toward [dst], which must lie strictly inside
+    the current node's subtree. *)
+
+val plan : Config.t -> Bstnet.Topology.t -> current:int -> dst:int -> t option
+(** Dispatch on {!Bstnet.Topology.direction_to}: [None] when the
+    message already sits on its destination, otherwise the up/down
+    plan. *)
+
+val execute : Bstnet.Topology.t -> t -> unit
+(** Perform the plan's mutation (if [rotate]); moving the message to
+    [new_current] is the caller's bookkeeping.  The topology must not
+    have changed since [plan] — the concurrent engine guarantees this
+    with clusters; the sequential engine trivially. *)

@@ -1,0 +1,1 @@
+lib/runtime/adversary.ml: Bstnet Cbnet

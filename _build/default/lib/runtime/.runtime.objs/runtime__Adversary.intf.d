@@ -1,0 +1,1 @@
+lib/runtime/adversary.mli: Bstnet Cbnet

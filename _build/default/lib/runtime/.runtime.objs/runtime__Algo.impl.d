@@ -1,0 +1,1 @@
+lib/runtime/algo.ml: Baselines Bstnet Cbnet Printf String Workloads

@@ -1,0 +1,1 @@
+lib/runtime/algo.mli: Cbnet Workloads

@@ -1,0 +1,1 @@
+lib/runtime/experiment.ml: Algo Cbnet List Simkit Workloads

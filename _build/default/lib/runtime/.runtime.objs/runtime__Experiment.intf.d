@@ -1,0 +1,1 @@
+lib/runtime/experiment.mli: Algo Cbnet Simkit Workloads

@@ -1,0 +1,1 @@
+lib/runtime/export.ml: Algo Array Experiment Fun List Printf Simkit Timeline

@@ -1,0 +1,1 @@
+lib/runtime/export.mli: Experiment Timeline

@@ -1,0 +1,1 @@
+lib/runtime/figures.ml: Adversary Algo Baselines Bstnet Cbnet Char Experiment Float Format List Printf Report Simkit String Timeline Tracekit Workloads

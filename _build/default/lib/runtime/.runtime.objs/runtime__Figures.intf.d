@@ -1,0 +1,1 @@
+lib/runtime/figures.mli: Format Workloads

@@ -1,0 +1,1 @@
+lib/runtime/report.ml: Array Float Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/runtime/timeline.ml: Array Bstnet Cbnet Float List Printf Report Workloads

@@ -1,0 +1,36 @@
+type t = BT | OPT | SN | DSN | SCBN | CBN
+
+let all = [ BT; OPT; SN; DSN; SCBN; CBN ]
+let dynamic = [ SN; DSN; SCBN; CBN ]
+
+let name = function
+  | BT -> "BT"
+  | OPT -> "OPT"
+  | SN -> "SN"
+  | DSN -> "DSN"
+  | SCBN -> "SCBN"
+  | CBN -> "CBN"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "BT" -> BT
+  | "OPT" -> OPT
+  | "SN" -> SN
+  | "DSN" -> DSN
+  | "SCBN" -> SCBN
+  | "CBN" | "CBNET" -> CBN
+  | _ -> invalid_arg (Printf.sprintf "Algo.of_name: unknown algorithm %S" s)
+
+let is_static = function BT | OPT -> true | _ -> false
+let is_concurrent = function DSN | CBN -> true | _ -> false
+
+let run ?(config = Cbnet.Config.default) ?window algo trace =
+  let n = trace.Workloads.Trace.n in
+  let runs = Workloads.Trace.to_runs trace in
+  match algo with
+  | BT -> Baselines.Static.run ~config (Bstnet.Build.balanced n) runs
+  | OPT -> Baselines.Static.run ~config (Baselines.Static.opt_tree ~n runs) runs
+  | SN -> Baselines.Splaynet.run ~config (Bstnet.Build.balanced n) runs
+  | DSN -> Baselines.Displaynet.run ~config (Bstnet.Build.balanced n) runs
+  | SCBN -> Cbnet.Sequential.run ~config (Bstnet.Build.balanced n) runs
+  | CBN -> Cbnet.Concurrent.run ~config ?window (Bstnet.Build.balanced n) runs

@@ -1,0 +1,31 @@
+(** The algorithm roster of the paper's evaluation (Sec. IX-A), behind
+    one interface: give a trace, get {!Cbnet.Run_stats.t}. *)
+
+type t =
+  | BT  (** Static balanced tree. *)
+  | OPT  (** Static optimal tree (knows the whole demand). *)
+  | SN  (** SplayNet, sequential. *)
+  | DSN  (** DiSplayNet, concurrent. *)
+  | SCBN  (** CBNet, sequential (Algorithm 1). *)
+  | CBN  (** CBNet, concurrent (Sec. VII). *)
+
+val all : t list
+val dynamic : t list
+(** The four self-adjusting algorithms (Fig. 4 excludes BT and OPT). *)
+
+val name : t -> string
+val of_name : string -> t
+(** @raise Invalid_argument for an unknown name. *)
+
+val is_static : t -> bool
+val is_concurrent : t -> bool
+
+val run :
+  ?config:Cbnet.Config.t ->
+  ?window:int ->
+  t ->
+  Workloads.Trace.t ->
+  Cbnet.Run_stats.t
+(** Build the initial topology (balanced for all dynamic algorithms
+    and BT; the DP tree for OPT), execute the trace, return the
+    statistics.  Each call starts from a fresh topology. *)

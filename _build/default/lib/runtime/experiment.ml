@@ -1,0 +1,62 @@
+type measurement = {
+  algo : Algo.t;
+  workload : string;
+  seeds : int;
+  routing : Simkit.Stats.summary;
+  rotations : Simkit.Stats.summary;
+  work : Simkit.Stats.summary;
+  makespan : Simkit.Stats.summary;
+  throughput : Simkit.Stats.summary;
+  pauses : Simkit.Stats.summary;
+  bypasses : Simkit.Stats.summary;
+}
+
+let trace_for ?(scale = Workloads.Catalog.Default) ?(lambda = 0.05) ~workload
+    ~seed () =
+  let entry = Workloads.Catalog.find workload in
+  let trace = entry.Workloads.Catalog.generate scale ~seed in
+  let rng = Simkit.Rng.create (seed lxor 0x5bd1e995) in
+  Workloads.Trace.with_poisson_births rng ~lambda trace
+
+let run_cell ?(config = Cbnet.Config.default) ?(scale = Workloads.Catalog.Default)
+    ?(seeds = 5) ?(lambda = 0.05) ?(base_seed = 1) ~workload ~algo () =
+  if seeds < 1 then invalid_arg "Experiment.run_cell: seeds must be >= 1";
+  let routing = Simkit.Stats.create () in
+  let rotations = Simkit.Stats.create () in
+  let work = Simkit.Stats.create () in
+  let makespan = Simkit.Stats.create () in
+  let throughput = Simkit.Stats.create () in
+  let pauses = Simkit.Stats.create () in
+  let bypasses = Simkit.Stats.create () in
+  for i = 0 to seeds - 1 do
+    let seed = base_seed + (1009 * i) in
+    let trace = trace_for ~scale ~lambda ~workload ~seed () in
+    let stats = Algo.run ~config algo trace in
+    Simkit.Stats.add routing (float_of_int stats.Cbnet.Run_stats.routing_cost);
+    Simkit.Stats.add rotations (float_of_int stats.Cbnet.Run_stats.rotations);
+    Simkit.Stats.add work stats.Cbnet.Run_stats.work;
+    Simkit.Stats.add makespan (float_of_int stats.Cbnet.Run_stats.makespan);
+    Simkit.Stats.add throughput stats.Cbnet.Run_stats.throughput;
+    Simkit.Stats.add pauses (float_of_int stats.Cbnet.Run_stats.pauses);
+    Simkit.Stats.add bypasses (float_of_int stats.Cbnet.Run_stats.bypasses)
+  done;
+  {
+    algo;
+    workload;
+    seeds;
+    routing = Simkit.Stats.summary routing;
+    rotations = Simkit.Stats.summary rotations;
+    work = Simkit.Stats.summary work;
+    makespan = Simkit.Stats.summary makespan;
+    throughput = Simkit.Stats.summary throughput;
+    pauses = Simkit.Stats.summary pauses;
+    bypasses = Simkit.Stats.summary bypasses;
+  }
+
+let run_matrix ?config ?scale ?seeds ?lambda ?base_seed ~workloads ~algos () =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun algo -> run_cell ?config ?scale ?seeds ?lambda ?base_seed ~workload ~algo ())
+        algos)
+    workloads

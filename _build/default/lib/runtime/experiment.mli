@@ -1,0 +1,53 @@
+(** Multi-seed experiment execution: the (workload × algorithm) matrix
+    behind Figures 3 and 4, with deterministic per-seed streams and
+    mean ± 95%-CI aggregation. *)
+
+type measurement = {
+  algo : Algo.t;
+  workload : string;
+  seeds : int;
+  routing : Simkit.Stats.summary;  (** Routing cost D (Def. 1). *)
+  rotations : Simkit.Stats.summary;  (** Rotation count Σρ. *)
+  work : Simkit.Stats.summary;  (** Total work C. *)
+  makespan : Simkit.Stats.summary;
+  throughput : Simkit.Stats.summary;
+  pauses : Simkit.Stats.summary;
+  bypasses : Simkit.Stats.summary;
+}
+
+val run_cell :
+  ?config:Cbnet.Config.t ->
+  ?scale:Workloads.Catalog.scale ->
+  ?seeds:int ->
+  ?lambda:float ->
+  ?base_seed:int ->
+  workload:string ->
+  algo:Algo.t ->
+  unit ->
+  measurement
+(** Generate the workload [seeds] times (default 5; the paper uses 30
+    for full runs) with distinct seeds, stamp arrivals with the
+    paper's Poisson process (default [lambda = 0.05]), execute, and
+    aggregate. *)
+
+val run_matrix :
+  ?config:Cbnet.Config.t ->
+  ?scale:Workloads.Catalog.scale ->
+  ?seeds:int ->
+  ?lambda:float ->
+  ?base_seed:int ->
+  workloads:string list ->
+  algos:Algo.t list ->
+  unit ->
+  measurement list
+(** {!run_cell} over the full matrix, workload-major. *)
+
+val trace_for :
+  ?scale:Workloads.Catalog.scale ->
+  ?lambda:float ->
+  workload:string ->
+  seed:int ->
+  unit ->
+  Workloads.Trace.t
+(** The exact stamped trace a cell run uses for a given seed (exposed
+    so analyses like Fig. 2 and the entropy bounds see the same σ). *)

@@ -1,0 +1,51 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let ci95 (s : Simkit.Stats.summary) =
+  if s.Simkit.Stats.n < 2 then 0.0
+  else 1.96 *. s.Simkit.Stats.std /. sqrt (float_of_int s.Simkit.Stats.n)
+
+let measurements_csv cells path =
+  with_out path (fun oc ->
+      output_string oc
+        "workload,algo,seeds,routing_mean,routing_ci95,rotations_mean,\
+         rotations_ci95,work_mean,work_ci95,makespan_mean,makespan_ci95,\
+         throughput_mean,throughput_ci95,pauses_mean,bypasses_mean\n";
+      List.iter
+        (fun (c : Experiment.measurement) ->
+          Printf.fprintf oc "%s,%s,%d,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f\n"
+            c.Experiment.workload
+            (Algo.name c.Experiment.algo)
+            c.Experiment.seeds c.Experiment.routing.Simkit.Stats.mean
+            (ci95 c.Experiment.routing) c.Experiment.rotations.Simkit.Stats.mean
+            (ci95 c.Experiment.rotations) c.Experiment.work.Simkit.Stats.mean
+            (ci95 c.Experiment.work) c.Experiment.makespan.Simkit.Stats.mean
+            (ci95 c.Experiment.makespan) c.Experiment.throughput.Simkit.Stats.mean
+            (ci95 c.Experiment.throughput) c.Experiment.pauses.Simkit.Stats.mean
+            c.Experiment.bypasses.Simkit.Stats.mean)
+        cells)
+
+let timeline_csv points path =
+  with_out path (fun oc ->
+      output_string oc
+        "window,first_message,messages,amortized_routing,rotations,phi,mean_distance\n";
+      List.iter
+        (fun (p : Timeline.point) ->
+          Printf.fprintf oc "%d,%d,%d,%f,%d,%f,%f\n" p.Timeline.window_index
+            p.Timeline.first_message p.Timeline.messages
+            p.Timeline.amortized_routing p.Timeline.rotations p.Timeline.phi
+            p.Timeline.mean_distance)
+        points)
+
+let latencies_csv latencies path =
+  with_out path (fun oc ->
+      output_string oc "latency\n";
+      Array.iter (fun l -> Printf.fprintf oc "%f\n" l) latencies;
+      if Array.length latencies > 0 then begin
+        List.iter
+          (fun p ->
+            Printf.fprintf oc "# p%.0f = %f\n" p
+              (Simkit.Stats.percentile latencies p))
+          [ 50.0; 90.0; 99.0 ]
+      end)

@@ -1,0 +1,13 @@
+(** CSV export of measurements, for external plotting (gnuplot,
+    matplotlib, R): one row per (workload, algorithm) with mean and
+    95%-CI columns, and per-point rows for timelines and latency
+    distributions. *)
+
+val measurements_csv : Experiment.measurement list -> string -> unit
+(** Header: workload,algo,seeds,metric columns (mean and ci95 each). *)
+
+val timeline_csv : Timeline.point list -> string -> unit
+
+val latencies_csv : float array -> string -> unit
+(** One latency per row, plus a percentile summary block as trailing
+    comment lines. *)

@@ -1,0 +1,63 @@
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let table ?title ~headers rows fmt =
+  let all_rows = headers :: rows in
+  let cols = List.length headers in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all_rows;
+  (match title with Some t -> Format.fprintf fmt "== %s ==@." t | None -> ());
+  let render row =
+    let cells = List.mapi (fun i cell -> pad widths.(i) cell) row in
+    Format.fprintf fmt "%s@." (String.trim (String.concat "  " cells))
+  in
+  render headers;
+  let rule = List.init cols (fun i -> String.make widths.(i) '-') in
+  render rule;
+  List.iter render rows
+
+let bar ~value ~max ~width =
+  if max <= 0.0 then ""
+  else begin
+    let k = int_of_float (Float.round (value /. max *. float_of_int width)) in
+    String.make (Stdlib.max 0 (Stdlib.min width k)) '#'
+  end
+
+let stacked_bar ~parts ~max ~width =
+  if max <= 0.0 then ""
+  else
+    String.concat ""
+      (List.map
+         (fun (ch, v) ->
+           let k = int_of_float (Float.round (v /. max *. float_of_int width)) in
+           String.make (Stdlib.max 0 (Stdlib.min width k)) ch)
+         parts)
+
+let scatter ~width ~height ~xlabel ~ylabel points fmt =
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun (x, y, ch) ->
+      let clamp v = Float.min 1.0 (Float.max 0.0 v) in
+      let col = int_of_float (clamp x *. float_of_int (width - 1)) in
+      let row = height - 1 - int_of_float (clamp y *. float_of_int (height - 1)) in
+      grid.(row).(col) <- ch)
+    points;
+  Format.fprintf fmt "%s ^@." ylabel;
+  Array.iter
+    (fun row -> Format.fprintf fmt "  |%s@." (String.init width (Array.get row)))
+    grid;
+  Format.fprintf fmt "  +%s> %s@." (String.make width '-') xlabel
+
+let float_cell v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    let i = int_of_float v in
+    if abs i >= 100000 then Printf.sprintf "%d" i else string_of_int i
+  else if Float.abs v < 10.0 then Printf.sprintf "%.3f" v
+  else Printf.sprintf "%.1f" v

@@ -1,0 +1,29 @@
+(** Fixed-width ASCII tables and simple bar charts for experiment
+    output — the textual equivalent of the paper's figures. *)
+
+val table :
+  ?title:string -> headers:string list -> string list list -> Format.formatter -> unit
+(** Render rows under right-padded headers; column widths fit the
+    longest cell. *)
+
+val bar : value:float -> max:float -> width:int -> string
+(** A proportional bar of '#' characters (for work-split charts). *)
+
+val stacked_bar :
+  parts:(char * float) list -> max:float -> width:int -> string
+(** A stacked proportional bar, one fill character per component. *)
+
+val scatter :
+  width:int ->
+  height:int ->
+  xlabel:string ->
+  ylabel:string ->
+  (float * float * char) list ->
+  Format.formatter ->
+  unit
+(** Plot labelled points with coordinates in [0, 1] x [0, 1] on an
+    ASCII grid (the shape of the paper's Fig. 2 trace map). *)
+
+val float_cell : float -> string
+(** Compact numeric formatting: integers as such, small floats with 3
+    decimals, large values with thousands grouping. *)

@@ -1,0 +1,1 @@
+lib/simkit/arrivals.ml: Array Float Rng

@@ -1,0 +1,1 @@
+lib/simkit/metrics.ml: Format Hashtbl List Option Stats Stdlib String

@@ -1,0 +1,1 @@
+lib/simkit/metrics.mli: Format Stats

@@ -1,0 +1,1 @@
+lib/simkit/rng.ml: Array Float Int64

@@ -1,0 +1,100 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?capacity:(_ = 16) cmp = { cmp; data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* Stable order: by [cmp], ties by insertion sequence. *)
+let lt h a b =
+  let c = h.cmp a.value b.value in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+let grow h =
+  let cap = max 16 (2 * Array.length h.data) in
+  if h.size > 0 then begin
+    let data = Array.make cap h.data.(0) in
+    Array.blit h.data 0 data 0 h.size;
+    h.data <- data
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && lt h h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && lt h h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h v =
+  let e = { value = v; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = Array.length h.data then
+    if h.size = 0 then h.data <- Array.make 16 e else grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0).value
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0).value in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some v -> v
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h =
+  h.size <- 0;
+  h.next_seq <- 0
+
+let to_list h =
+  let copy =
+    {
+      cmp = h.cmp;
+      data = Array.sub h.data 0 h.size;
+      size = h.size;
+      next_seq = h.next_seq;
+    }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some v -> drain (v :: acc)
+  in
+  drain []
+
+let of_array cmp a =
+  let h = create cmp in
+  Array.iter (fun v -> push h v) a;
+  h

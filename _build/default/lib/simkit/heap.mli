@@ -1,0 +1,33 @@
+(** Array-backed binary min-heap, polymorphic in element type.
+
+    Used for event queues and priority scheduling.  The comparison
+    function is fixed at creation; ties are broken by insertion order
+    (the heap is made stable by an internal sequence number), which
+    matters for deterministic simulation replay. *)
+
+type 'a t
+
+val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
+(** [create cmp] is an empty heap ordered by [cmp] (minimum first). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in ascending order; O(n log n), does not modify the heap. *)
+
+val of_array : ('a -> 'a -> int) -> 'a array -> 'a t
+(** Heapify in O(n). *)

@@ -1,0 +1,68 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  streams : (string, Stats.t) Hashtbl.t;
+  raw : (string, float list ref) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 16; streams = Hashtbl.create 16; raw = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter_ref t name)
+let add t name k = counter_ref t name := !(counter_ref t name) + k
+
+let observe t name x =
+  let s =
+    match Hashtbl.find_opt t.streams name with
+    | Some s -> s
+    | None ->
+        let s = Stats.create () in
+        Hashtbl.add t.streams name s;
+        s
+  in
+  Stats.add s x;
+  let r =
+    match Hashtbl.find_opt t.raw name with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add t.raw name r;
+        r
+  in
+  r := x :: !r
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let stream t name = Option.map Stats.summary (Hashtbl.find_opt t.streams name)
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_bindings t.counters ( ! )
+let streams t = sorted_bindings t.streams Stats.summary
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.streams;
+  Hashtbl.reset t.raw
+
+let merge_into ~dst src =
+  Hashtbl.iter (fun name r -> add dst name !r) src.counters;
+  Hashtbl.iter
+    (fun name r -> List.iter (fun x -> observe dst name x) (List.rev !r))
+    src.raw
+
+let pp fmt t =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s = %d@." k v) (counters t);
+  List.iter
+    (fun (k, s) -> Format.fprintf fmt "%s : %a@." k Stats.pp_summary s)
+    (streams t)

@@ -1,0 +1,34 @@
+(** Named metric registry used by simulations to report counters and
+    gauges without threading a record of every possible measurement
+    through all call sites. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Increment a counter by one, creating it at zero if absent. *)
+
+val add : t -> string -> int -> unit
+(** Add [k] to a counter. *)
+
+val observe : t -> string -> float -> unit
+(** Feed a value into the named {!Stats.t} stream. *)
+
+val counter : t -> string -> int
+(** Current counter value (0 if never touched). *)
+
+val stream : t -> string -> Stats.summary option
+(** Summary of an observation stream, if it exists. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val streams : t -> (string * Stats.summary) list
+(** All streams, sorted by name. *)
+
+val reset : t -> unit
+val merge_into : dst:t -> t -> unit
+(** Add all counters and observations of the source into [dst]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  t.total <- t.total +. x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let std t = sqrt (variance t)
+let min t = if t.n = 0 then 0.0 else t.min
+let max t = if t.n = 0 then 0.0 else t.max
+let total t = t.total
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+let summary (acc : t) =
+  {
+    n = acc.n;
+    mean = mean acc;
+    std = std acc;
+    min = min acc;
+    max = max acc;
+    total = acc.total;
+  }
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let percentile data p =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Stats.percentile: empty data";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let confidence95 (acc : t) =
+  if acc.n < 2 then 0.0 else 1.96 *. std acc /. sqrt (float_of_int acc.n)
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.3f std=%.3f min=%.3f max=%.3f total=%.3f" s.n
+    s.mean s.std s.min s.max s.total

@@ -1,0 +1,1 @@
+lib/tracekit/complexity.ml: Array Float Format Lz78 Simkit Workloads

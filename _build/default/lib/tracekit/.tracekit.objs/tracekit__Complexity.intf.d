@@ -1,0 +1,1 @@
+lib/tracekit/complexity.mli: Format Workloads

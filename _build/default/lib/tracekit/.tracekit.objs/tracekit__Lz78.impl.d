@@ -1,0 +1,1 @@
+lib/tracekit/lz78.ml: Array Hashtbl

@@ -1,0 +1,49 @@
+module Trace = Workloads.Trace
+
+type result = {
+  c_sigma : int;
+  c_shuffled : int;
+  c_uniform : int;
+  temporal : float;
+  non_temporal : float;
+  complexity : float;
+}
+
+let encode (t : Trace.t) =
+  let n = t.Trace.n in
+  Array.map (fun (s, d) -> (s * n) + d) t.Trace.requests
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let measure ?(samples = 3) ~seed t =
+  if samples < 1 then invalid_arg "Complexity.measure: samples must be >= 1";
+  let rng = Simkit.Rng.create seed in
+  (* One alphabet size for all three measurements so the ratios compare
+     code lengths, not alphabet choices. *)
+  let alphabet = t.Trace.n * t.Trace.n in
+  let c_sigma = Lz78.compressed_bytes ~alphabet (encode t) in
+  let average f =
+    let acc = ref 0 in
+    for _ = 1 to samples do
+      acc := !acc + Lz78.compressed_bytes ~alphabet (encode (f (Simkit.Rng.split rng)))
+    done;
+    !acc / samples
+  in
+  let c_shuffled = average (fun r -> Trace.shuffled r t) in
+  let c_uniform = average (fun r -> Trace.uniform_like r t) in
+  let temporal = clamp01 (float_of_int c_sigma /. float_of_int (max 1 c_shuffled)) in
+  let non_temporal =
+    clamp01 (float_of_int c_shuffled /. float_of_int (max 1 c_uniform))
+  in
+  {
+    c_sigma;
+    c_shuffled;
+    c_uniform;
+    temporal;
+    non_temporal;
+    complexity = temporal *. non_temporal;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "T=%.3f NT=%.3f Psi=%.3f (C=%d, CΓ=%d, CU=%d bytes)"
+    r.temporal r.non_temporal r.complexity r.c_sigma r.c_shuffled r.c_uniform

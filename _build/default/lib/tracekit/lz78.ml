@@ -1,0 +1,47 @@
+(* Dictionary nodes are numbered from 1 (0 = empty prefix); the
+   transition table maps (node, symbol) to the extended node. *)
+
+let fold_phrases data ~emit =
+  let table : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let next_id = ref 1 in
+  let node = ref 0 in
+  let len = Array.length data in
+  for i = 0 to len - 1 do
+    let c = data.(i) in
+    match Hashtbl.find_opt table (!node, c) with
+    | Some id ->
+        node := id;
+        (* A phrase that ends exactly at the input's last symbol is
+           emitted as a (reference, no-extension) token. *)
+        if i = len - 1 then emit ~dict_size:!next_id ~extended:false
+    | None ->
+        Hashtbl.add table (!node, c) !next_id;
+        incr next_id;
+        emit ~dict_size:(!next_id - 1) ~extended:true;
+        node := 0
+  done
+
+let bits_for n =
+  (* ⌈log2 n⌉ for n >= 1, with at least 1 bit. *)
+  let rec go acc v = if v <= 1 then max 1 acc else go (acc + 1) ((v + 1) / 2) in
+  go 0 n
+
+let distinct data =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun s -> if not (Hashtbl.mem seen s) then Hashtbl.add seen s ()) data;
+  max 2 (Hashtbl.length seen)
+
+let compressed_bits ?alphabet data =
+  let alphabet = match alphabet with Some a -> max 2 a | None -> distinct data in
+  let symbol_bits = bits_for alphabet in
+  let total = ref 0 in
+  fold_phrases data ~emit:(fun ~dict_size ~extended ->
+      total := !total + bits_for dict_size + if extended then symbol_bits else 0);
+  !total
+
+let compressed_bytes ?alphabet data = (compressed_bits ?alphabet data + 7) / 8
+
+let phrase_count data =
+  let count = ref 0 in
+  fold_phrases data ~emit:(fun ~dict_size:_ ~extended:_ -> incr count);
+  !count

@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Bursty Datastructure Hpc List Pfabric Projector Skewed Trace Uniform

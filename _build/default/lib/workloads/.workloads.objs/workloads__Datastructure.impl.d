@@ -1,0 +1,1 @@
+lib/workloads/datastructure.ml: Array Float Simkit Trace

@@ -1,0 +1,1 @@
+lib/workloads/drifting.ml: Array Hashtbl Simkit Trace Zipf

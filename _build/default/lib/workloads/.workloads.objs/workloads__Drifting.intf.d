@@ -1,0 +1,1 @@
+lib/workloads/drifting.mli: Trace

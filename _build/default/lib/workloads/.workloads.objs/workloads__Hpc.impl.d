@@ -1,0 +1,1 @@
+lib/workloads/hpc.ml: Array List Simkit Trace

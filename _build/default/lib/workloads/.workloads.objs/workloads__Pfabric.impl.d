@@ -1,0 +1,1 @@
+lib/workloads/pfabric.ml: Array Float Simkit Trace

@@ -1,0 +1,1 @@
+lib/workloads/projector.ml: Array Hashtbl Simkit Trace Zipf

@@ -1,0 +1,1 @@
+lib/workloads/skewed.ml: Array Hashtbl Simkit Trace Zipf

@@ -1,0 +1,1 @@
+lib/workloads/skewed.mli: Trace

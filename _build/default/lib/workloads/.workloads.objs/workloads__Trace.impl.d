@@ -1,0 +1,1 @@
+lib/workloads/trace.ml: Array Format Fun List Printf Simkit String

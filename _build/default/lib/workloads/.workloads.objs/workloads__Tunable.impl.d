@@ -1,0 +1,1 @@
+lib/workloads/tunable.ml: Array Hashtbl List Printf Simkit Trace Zipf

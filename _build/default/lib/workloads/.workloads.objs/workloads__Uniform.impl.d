@@ -1,0 +1,1 @@
+lib/workloads/uniform.ml: Array Simkit Trace

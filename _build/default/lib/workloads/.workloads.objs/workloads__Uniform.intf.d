@@ -1,0 +1,1 @@
+lib/workloads/uniform.mli: Trace

@@ -1,0 +1,16 @@
+let generate ?(n = 1024) ?(m = 10_000) ?(mean_burst = 50.0) ~seed () =
+  if mean_burst < 1.0 then invalid_arg "Bursty.generate: mean_burst must be >= 1";
+  let rng = Simkit.Rng.create seed in
+  let fresh_pair () =
+    let s = Simkit.Rng.int rng n in
+    let d = Simkit.Rng.int rng n in
+    if s = d then (s, (d + 1) mod n) else (s, d)
+  in
+  let continue_p = 1.0 -. (1.0 /. mean_burst) in
+  let requests = Array.make m (0, 0) in
+  let current = ref (fresh_pair ()) in
+  for i = 0 to m - 1 do
+    requests.(i) <- !current;
+    if Simkit.Rng.float rng 1.0 >= continue_p then current := fresh_pair ()
+  done;
+  Trace.make ~name:"bursty" ~n requests

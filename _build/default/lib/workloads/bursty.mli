@@ -1,0 +1,10 @@
+(** The Bursty synthetic workload (Sec. VIII): extreme temporal
+    locality — the sequence is mostly consecutive repetitions of the
+    same request — with essentially no non-temporal locality (the pair
+    starting each burst is uniform).  Paper parameters: n = 1024,
+    m = 10,000. *)
+
+val generate :
+  ?n:int -> ?m:int -> ?mean_burst:float -> seed:int -> unit -> Trace.t
+(** Bursts have geometric length with the given mean (default 50);
+    burst pairs are i.i.d. uniform over distinct node pairs. *)

@@ -1,0 +1,66 @@
+type scale = Default | Full
+
+type entry = {
+  key : string;
+  description : string;
+  n : int;
+  generate : scale -> seed:int -> Trace.t;
+}
+
+let all =
+  [
+    {
+      key = "projector";
+      description = "ProjecToR-like: skewed fixed matrix, i.i.d. (n=128)";
+      n = 128;
+      generate = (fun _scale ~seed -> Projector.generate ~seed ());
+    };
+    {
+      key = "skewed";
+      description = "Zipf pairs, i.i.d. (n=1024)";
+      n = 1024;
+      generate = (fun _scale ~seed -> Skewed.generate ~seed ());
+    };
+    {
+      key = "pfabric";
+      description = "pFabric-like flow bursts (n=144)";
+      n = 144;
+      generate =
+        (fun scale ~seed ->
+          let m = match scale with Default -> 50_000 | Full -> 1_000_000 in
+          Pfabric.generate ~m ~seed ());
+    };
+    {
+      key = "bursty";
+      description = "geometric repeat bursts, uniform pairs (n=1024)";
+      n = 1024;
+      generate = (fun _scale ~seed -> Bursty.generate ~seed ());
+    };
+    {
+      key = "hpc";
+      description = "2-D stencil + binomial collectives (n=1024)";
+      n = 1024;
+      generate =
+        (fun scale ~seed ->
+          let m = match scale with Default -> 50_000 | Full -> 1_000_000 in
+          Hpc.generate ~m ~seed ());
+    };
+    {
+      key = "datastructure";
+      description = "root destination, normal sources (n=128)";
+      n = 128;
+      generate = (fun _scale ~seed -> Datastructure.generate ~seed ());
+    };
+    {
+      key = "uniform";
+      description = "uniform i.i.d. reference (n=128)";
+      n = 128;
+      generate = (fun _scale ~seed -> Uniform.generate ~seed ());
+    };
+  ]
+
+let find key = List.find (fun e -> e.key = key) all
+let keys = List.map (fun e -> e.key) all
+
+let paper_six =
+  [ "projector"; "skewed"; "pfabric"; "bursty"; "hpc"; "datastructure" ]

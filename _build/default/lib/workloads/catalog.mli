@@ -1,0 +1,24 @@
+(** The named workload catalog used by the experiment harness: the six
+    families of the paper's evaluation plus the uniform reference,
+    each at the paper's size ("full") or a scaled-down default that
+    keeps every figure reproducible in minutes. *)
+
+type scale = Default | Full
+
+type entry = {
+  key : string;  (** e.g. "projector" *)
+  description : string;
+  n : int;
+  generate : scale -> seed:int -> Trace.t;
+}
+
+val all : entry list
+(** projector, skewed, pfabric, bursty, hpc, datastructure, uniform. *)
+
+val find : string -> entry
+(** @raise Not_found for an unknown key. *)
+
+val keys : string list
+
+val paper_six : string list
+(** The six workloads of Figures 2-4, in the paper's grouping order. *)

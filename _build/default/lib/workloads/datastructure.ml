@@ -1,0 +1,11 @@
+let generate ?(n = 128) ?(m = 10_000) ?(std = 1.6) ~seed () =
+  if std <= 0.0 then invalid_arg "Datastructure.generate: std must be positive";
+  let rng = Simkit.Rng.create seed in
+  let root = (n - 1) / 2 in
+  let rec sample_src () =
+    let x = Simkit.Rng.normal rng ~mean:(float_of_int root) ~std in
+    let v = int_of_float (Float.round x) in
+    if v < 0 || v >= n || v = root then sample_src () else v
+  in
+  let requests = Array.init m (fun _ -> (sample_src (), root)) in
+  Trace.make ~name:"datastructure" ~n requests

@@ -1,0 +1,12 @@
+(** The Data Structure workload (Sec. VIII): low locality on both
+    axes, mimicking access sequences of self-adjusting data
+    structures.
+
+    Every message is addressed to the root node of the initial
+    balanced network; the source is drawn from a (truncated, rounded)
+    normal distribution with std 1.6 over the remaining n-1 nodes.
+    Paper parameters: n = 128, m = 10,000. *)
+
+val generate : ?n:int -> ?m:int -> ?std:float -> seed:int -> unit -> Trace.t
+(** The destination is [(n - 1) / 2] — the root of
+    {!Bstnet.Build.balanced}; sources are normal around it. *)

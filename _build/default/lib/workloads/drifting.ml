@@ -1,0 +1,30 @@
+let generate ?(n = 256) ?(m = 20_000) ?(phases = 2) ?(alpha = 1.2)
+    ?(support = 512) ~seed () =
+  if phases < 1 then invalid_arg "Drifting.generate: phases must be >= 1";
+  if phases * support > n * (n - 1) / 2 then
+    invalid_arg "Drifting.generate: support too large for disjoint phases";
+  let rng = Simkit.Rng.create seed in
+  let seen = Hashtbl.create (4 * phases * support) in
+  let phase_pairs =
+    Array.init phases (fun _ ->
+        let pairs = Array.make support (0, 1) in
+        let filled = ref 0 in
+        while !filled < support do
+          let s = Simkit.Rng.int rng n in
+          let d = Simkit.Rng.int rng n in
+          if s <> d && not (Hashtbl.mem seen (s, d)) then begin
+            Hashtbl.add seen (s, d) ();
+            pairs.(!filled) <- (s, d);
+            incr filled
+          end
+        done;
+        pairs)
+  in
+  let zipf = Zipf.create ~alpha ~k:support in
+  let per_phase = (m + phases - 1) / phases in
+  let requests =
+    Array.init m (fun i ->
+        let phase = min (phases - 1) (i / per_phase) in
+        phase_pairs.(phase).(Zipf.sample zipf rng))
+  in
+  Trace.make ~name:"drifting" ~n requests

@@ -1,0 +1,11 @@
+(** Drifting-hotspot workload: the demand distribution changes
+    mid-trace.  Phase 1 samples a Zipf-skewed set of hot pairs; phase
+    2 samples a disjoint set.  Self-adjusting networks that remember
+    the full history adapt slowly to the second phase — the scenario
+    motivating the counter-reset extension (paper Sec. IX-D). *)
+
+val generate :
+  ?n:int -> ?m:int -> ?phases:int -> ?alpha:float -> ?support:int ->
+  seed:int -> unit -> Trace.t
+(** Defaults: [n = 256], [m = 20_000], [phases = 2], [alpha = 1.2],
+    [support = 512] hot pairs per phase. *)

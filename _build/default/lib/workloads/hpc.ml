@@ -1,0 +1,52 @@
+let generate ?(side = 32) ?(m = 100_000) ?(collective_every = 8) ~seed () =
+  if side < 2 then invalid_arg "Hpc.generate: side must be >= 2";
+  if collective_every < 1 then
+    invalid_arg "Hpc.generate: collective_every must be >= 1";
+  let n = side * side in
+  let rng = Simkit.Rng.create seed in
+  (* Random placement of MPI ranks onto network keys: locality in the
+     application is not locality in the key space. *)
+  let place = Array.init n (fun i -> i) in
+  Simkit.Rng.shuffle rng place;
+  let grid r c = place.((r * side) + c) in
+  let buf = ref [] in
+  let count = ref 0 in
+  let push s d =
+    if !count < m then begin
+      buf := (s, d) :: !buf;
+      incr count
+    end
+  in
+  let stencil_iteration () =
+    for r = 0 to side - 1 do
+      for c = 0 to side - 1 do
+        let self = grid r c in
+        if r > 0 then push self (grid (r - 1) c);
+        if c > 0 then push self (grid r (c - 1));
+        if r < side - 1 then push self (grid (r + 1) c);
+        if c < side - 1 then push self (grid r (c + 1))
+      done
+    done
+  in
+  let reduction () =
+    (* Binomial tree to rank (0,0): at distance d = 1, 2, 4, ... ranks
+       r with r mod 2d = d send to r - d (flattened order). *)
+    let dist = ref 1 in
+    while !dist < n do
+      let d = !dist in
+      let r = ref d in
+      while !r < n do
+        push place.(!r) place.(!r - d);
+        r := !r + (2 * d)
+      done;
+      dist := 2 * d
+    done
+  in
+  let iteration = ref 0 in
+  while !count < m do
+    stencil_iteration ();
+    incr iteration;
+    if !iteration mod collective_every = 0 then reduction ()
+  done;
+  let requests = Array.of_list (List.rev !buf) in
+  Trace.make ~name:"hpc" ~n requests

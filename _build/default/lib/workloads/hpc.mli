@@ -1,0 +1,19 @@
+(** HPC mini-app workload (Sec. VIII): both temporal and non-temporal
+    locality.
+
+    The paper samples the DOE "characterization of mini-apps" traces
+    (MOCFE and friends: Poisson solvers, Navier-Stokes hyperbolic
+    components, elliptic linear systems) on 1,024 ranks.  Their
+    communication skeleton is an iterative 2-D stencil exchange plus
+    periodic tree-structured collectives, which is what we generate:
+    ranks form a [side × side] grid; each iteration every rank
+    exchanges with its 4-neighbourhood (fixed partners → non-temporal
+    locality; per-iteration repetition → temporal locality), and every
+    [collective_every] iterations a binomial reduction tree funnels to
+    rank 0. *)
+
+val generate :
+  ?side:int -> ?m:int -> ?collective_every:int -> seed:int -> unit -> Trace.t
+(** Defaults: [side = 32] (n = 1024), [m = 100_000] (paper: 1,000,000),
+    [collective_every = 8].  The seed randomizes rank placement (the
+    grid→key mapping) and traversal order jitter. *)

@@ -1,0 +1,31 @@
+type flow = { pair : int * int; mutable remaining : int }
+
+let pareto rng ~shape ~scale =
+  let u = 1.0 -. Simkit.Rng.float rng 1.0 in
+  scale /. Float.pow u (1.0 /. shape)
+
+let generate ?(n = 144) ?(m = 100_000) ?(mean_flow = 300.0) ?(pareto_shape = 1.5)
+    ?(concurrency = 4) ~seed () =
+  if concurrency < 1 then invalid_arg "Pfabric.generate: concurrency must be >= 1";
+  let rng = Simkit.Rng.create seed in
+  (* Pareto with mean = scale * shape / (shape - 1): choose scale to
+     match the requested mean flow size. *)
+  let scale = mean_flow *. (pareto_shape -. 1.0) /. pareto_shape in
+  let fresh_flow () =
+    let s = Simkit.Rng.int rng n in
+    let d = Simkit.Rng.int rng n in
+    let pair = if s = d then (s, (d + 1) mod n) else (s, d) in
+    let size = max 1 (int_of_float (pareto rng ~shape:pareto_shape ~scale)) in
+    { pair; remaining = size }
+  in
+  let active = Array.init concurrency (fun _ -> fresh_flow ()) in
+  let requests =
+    Array.init m (fun _ ->
+        let i = Simkit.Rng.int rng concurrency in
+        let f = active.(i) in
+        let pair = f.pair in
+        f.remaining <- f.remaining - 1;
+        if f.remaining <= 0 then active.(i) <- fresh_flow ();
+        pair)
+  in
+  Trace.make ~name:"pfabric" ~n requests

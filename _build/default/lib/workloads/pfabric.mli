@@ -1,0 +1,19 @@
+(** PFabric-like workload (Sec. VIII): the highest temporal locality
+    among the paper's real traces, with a near-uniform communication
+    matrix.
+
+    The original traces come from NS2 simulations of the pFabric
+    datacenter transport (144 nodes, web-search / data-mining flow
+    size distributions).  We reproduce the generative process at flow
+    granularity: flows arrive as a Poisson process between uniformly
+    random pairs, flow sizes are Pareto-heavy-tailed, and each flow's
+    packets appear as consecutive requests of the same pair, with a
+    small number of flows interleaving — exactly the structure that
+    yields high temporal and low non-temporal locality. *)
+
+val generate :
+  ?n:int -> ?m:int -> ?mean_flow:float -> ?pareto_shape:float ->
+  ?concurrency:int -> seed:int -> unit -> Trace.t
+(** Defaults: [n = 144], [m = 100_000] (paper: 1,000,000 — pass [~m]
+    explicitly for full scale), [mean_flow = 300.0] packets (pFabric web-search flows average ~MBs, i.e. hundreds of packets),
+    [pareto_shape = 1.5], [concurrency = 4] interleaved flows. *)

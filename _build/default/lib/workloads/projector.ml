@@ -1,0 +1,33 @@
+let generate ?(n = 128) ?(m = 10_000) ?(support = 8367) ?(alpha = 2.0)
+    ?(hot_fraction = 0.25) ~seed () =
+  if support > n * (n - 1) then invalid_arg "Projector.generate: support too large";
+  if hot_fraction <= 0.0 || hot_fraction > 1.0 then
+    invalid_arg "Projector.generate: hot_fraction outside (0, 1]";
+  let rng = Simkit.Rng.create seed in
+  let hot = max 2 (int_of_float (hot_fraction *. float_of_int n)) in
+  (* Hot racks are a random subset; heavy ranks draw both endpoints
+     from it, the tail from the whole cluster. *)
+  let perm = Array.init n (fun i -> i) in
+  Simkit.Rng.shuffle rng perm;
+  let seen = Hashtbl.create (2 * support) in
+  let pairs = Array.make support (0, 1) in
+  let filled = ref 0 in
+  (* Keep the hot ranks well below the number of distinct hot pairs so
+     rejection sampling terminates quickly. *)
+  let hot_ranks = min (support / 4) (hot * (hot - 1) * 3 / 4) in
+  while !filled < support do
+    let from_hot = !filled < hot_ranks in
+    let pick () =
+      if from_hot then perm.(Simkit.Rng.int rng hot)
+      else perm.(Simkit.Rng.int rng n)
+    in
+    let s = pick () and d = pick () in
+    if s <> d && not (Hashtbl.mem seen (s, d)) then begin
+      Hashtbl.add seen (s, d) ();
+      pairs.(!filled) <- (s, d);
+      incr filled
+    end
+  done;
+  let zipf = Zipf.create ~alpha ~k:support in
+  let requests = Array.init m (fun _ -> pairs.(Zipf.sample zipf rng)) in
+  Trace.make ~name:"projector" ~n requests

@@ -1,0 +1,19 @@
+(** ProjecToR-like workload (Sec. VIII).
+
+    The paper samples m = 10,000 i.i.d. requests from the published
+    ProjecToR communication-probability matrix: 128 top-of-rack nodes,
+    8,367 active directed pairs, heavily skewed mass.  The dataset
+    itself is not redistributable, so we synthesize a matrix with the
+    same shape — fixed support of 8,367 directed pairs whose weights
+    follow a Zipf law, plus the hot-row structure of a production
+    cluster (a small set of heavy racks participate in most heavy
+    pairs) — and sample i.i.d. from it, which reproduces the property
+    the evaluation depends on: high non-temporal locality, no temporal
+    locality. *)
+
+val generate :
+  ?n:int -> ?m:int -> ?support:int -> ?alpha:float -> ?hot_fraction:float ->
+  seed:int -> unit -> Trace.t
+(** Defaults: [n = 128], [m = 10_000], [support = 8367],
+    [alpha = 2.0] (the published matrix is heavily concentrated on few pairs), [hot_fraction = 0.25] (heavy pairs are drawn with
+    both endpoints in the hot quarter of the racks). *)

@@ -1,0 +1,20 @@
+(** The Skewed synthetic workload (Sec. VIII): high non-temporal
+    locality, essentially no temporal locality.
+
+    Communication pairs are ranked and sampled i.i.d. from a Zipf
+    distribution (the approach of Avin et al. [1]); the rank→pair
+    assignment is a random injection so key adjacency carries no
+    signal.  Paper parameters: n = 1024, m = 10,000. *)
+
+val generate :
+  ?n:int -> ?m:int -> ?alpha:float -> ?support:int -> seed:int -> unit ->
+  Trace.t
+(** Defaults: [n = 1024], [m = 10_000], [alpha = 2.0], [support =
+    4096] distinct hot pairs. *)
+
+val generate_with_entropy :
+  ?n:int -> ?m:int -> ?support:int -> entropy:float -> seed:int -> unit ->
+  Trace.t
+(** The paper's parameterization (Sec. VIII): the Zipf exponent is
+    solved analytically so the pair distribution has the requested
+    Shannon entropy (bits, in [(0, log2 support)]). *)

@@ -1,0 +1,50 @@
+let generate ?(n = 256) ?(m = 10_000) ?(temporal = 0.0) ?(window = 64)
+    ?(alpha = 0.0) ?support ~seed () =
+  (* A wide default support keeps the alpha = 0 corner genuinely
+     structureless (pairs rarely repeat at the default m). *)
+  let support = match support with Some s -> s | None -> min (n * (n - 1)) 16_384 in
+  if temporal < 0.0 || temporal >= 1.0 then
+    invalid_arg "Tunable.generate: temporal must be in [0, 1)";
+  if window < 1 then invalid_arg "Tunable.generate: window must be >= 1";
+  if support > n * (n - 1) then invalid_arg "Tunable.generate: support too large";
+  let rng = Simkit.Rng.create seed in
+  (* Fixed Zipf-weighted matrix over a random pair support. *)
+  let seen = Hashtbl.create (2 * support) in
+  let pairs = Array.make support (0, 1) in
+  let filled = ref 0 in
+  while !filled < support do
+    let s = Simkit.Rng.int rng n in
+    let d = Simkit.Rng.int rng n in
+    if s <> d && not (Hashtbl.mem seen (s, d)) then begin
+      Hashtbl.add seen (s, d) ();
+      pairs.(!filled) <- (s, d);
+      incr filled
+    end
+  done;
+  let zipf = Zipf.create ~alpha ~k:support in
+  let history = Array.make window (0, 1) in
+  let history_len = ref 0 in
+  let history_next = ref 0 in
+  let fresh () = pairs.(Zipf.sample zipf rng) in
+  let requests =
+    Array.init m (fun _ ->
+        let req =
+          if !history_len > 0 && Simkit.Rng.float rng 1.0 < temporal then
+            history.(Simkit.Rng.int rng !history_len)
+          else fresh ()
+        in
+        history.(!history_next) <- req;
+        history_next := (!history_next + 1) mod window;
+        if !history_len < window then incr history_len;
+        req)
+  in
+  Trace.make ~name:(Printf.sprintf "tunable-t%.2f-a%.2f" temporal alpha) ~n requests
+
+let grid ?n ?m ~seed ~temporal_levels ~alpha_levels () =
+  List.concat_map
+    (fun temporal ->
+      List.map
+        (fun alpha ->
+          (temporal, alpha, generate ?n ?m ~temporal ~alpha ~seed ()))
+        alpha_levels)
+    temporal_levels

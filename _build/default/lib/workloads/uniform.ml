@@ -1,0 +1,6 @@
+let generate ?(n = 128) ?(m = 10_000) ~seed () =
+  let rng = Simkit.Rng.create seed in
+  let requests =
+    Array.init m (fun _ -> (Simkit.Rng.int rng n, Simkit.Rng.int rng n))
+  in
+  Trace.make ~name:"uniform" ~n requests

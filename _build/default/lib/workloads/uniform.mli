@@ -1,0 +1,5 @@
+(** Uniform i.i.d. requests: the zero-locality reference point used by
+    the trace-complexity normalization U(σ) and as a sanity baseline. *)
+
+val generate : ?n:int -> ?m:int -> seed:int -> unit -> Trace.t
+(** Defaults: [n = 128], [m = 10_000]. *)

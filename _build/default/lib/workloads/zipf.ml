@@ -1,0 +1,47 @@
+type t = { cdf : float array; pmf : float array }
+
+let create ~alpha ~k =
+  if alpha < 0.0 then invalid_arg "Zipf.create: negative alpha";
+  if k <= 0 then invalid_arg "Zipf.create: k must be positive";
+  let pmf = Array.init k (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) alpha) in
+  let total = Array.fold_left ( +. ) 0.0 pmf in
+  let cdf = Array.make k 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      pmf.(i) <- w /. total;
+      acc := !acc +. pmf.(i);
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(k - 1) <- 1.0;
+  { cdf; pmf }
+
+let sample t rng =
+  let u = Simkit.Rng.float rng 1.0 in
+  (* Smallest index with cdf.(i) >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t i = t.pmf.(i)
+
+let entropy t =
+  Array.fold_left
+    (fun acc p -> if p > 0.0 then acc -. (p *. Float.log2 p) else acc)
+    0.0 t.pmf
+
+let alpha_for_entropy ~k ~target =
+  let max_h = Float.log2 (float_of_int k) in
+  if target <= 0.0 || target >= max_h then
+    invalid_arg "Zipf.alpha_for_entropy: target outside (0, log2 k)";
+  (* Entropy decreases monotonically in alpha: bisect. *)
+  let h_of alpha = entropy (create ~alpha ~k) in
+  let lo = ref 0.0 and hi = ref 64.0 in
+  for _ = 1 to 60 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if h_of mid > target then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)

@@ -1,0 +1,23 @@
+(** Zipf (power-law) sampling, the non-temporal locality knob of the
+    synthetic workloads (Sec. VIII): item [k] (1-based rank) has
+    probability proportional to [1 / k^alpha]. *)
+
+type t
+
+val create : alpha:float -> k:int -> t
+(** Precomputes the cumulative distribution; O(k).
+    @raise Invalid_argument for [alpha < 0] or [k <= 0]. *)
+
+val sample : t -> Simkit.Rng.t -> int
+(** 0-based rank, by binary search over the CDF; O(log k). *)
+
+val probability : t -> int -> float
+(** Probability of 0-based rank [i]. *)
+
+val entropy : t -> float
+(** Shannon entropy (bits) of the distribution. *)
+
+val alpha_for_entropy : k:int -> target:float -> float
+(** Invert {!entropy} over [alpha] by bisection: the paper generates
+    Skewed traces with an analytically chosen entropy (Sec. VIII).
+    [target] must lie in [(0, log2 k)]. *)

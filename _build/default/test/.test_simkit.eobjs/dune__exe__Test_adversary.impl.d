@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Bstnet Cbnet Float Printf Runtime

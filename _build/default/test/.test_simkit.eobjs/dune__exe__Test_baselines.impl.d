@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Bstnet Cbnet Gen List Printf QCheck2 QCheck_alcotest Result Simkit Test

@@ -1,0 +1,1 @@
+test/test_bstnet.ml: Alcotest Array Bstnet Float Gen List QCheck2 QCheck_alcotest Result Simkit String Test

@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Array Bstnet Cbnet Gen List Printf QCheck2 QCheck_alcotest Result Simkit Test

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Baselines Bstnet Cbnet Filename Float Fun List Printf Runtime Simkit String Sys Tracekit Workloads

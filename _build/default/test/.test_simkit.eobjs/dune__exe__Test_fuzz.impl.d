@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Baselines Bstnet Cbnet List Simkit

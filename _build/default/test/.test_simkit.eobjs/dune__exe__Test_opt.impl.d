@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Baselines Bstnet Gen List QCheck2 QCheck_alcotest Simkit Test

@@ -1,0 +1,1 @@
+test/test_potential.ml: Alcotest Bstnet Cbnet Float Gen QCheck2 QCheck_alcotest Simkit Test

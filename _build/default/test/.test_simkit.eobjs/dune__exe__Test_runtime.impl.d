@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bstnet Buffer Cbnet Format List Printf Runtime Simkit String Workloads

@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Array Baselines Bstnet Cbnet Float Gen List Printf QCheck2 QCheck_alcotest Result Simkit Test Workloads

@@ -1,0 +1,1 @@
+test/test_simkit.ml: Alcotest Array Float Gen List QCheck2 QCheck_alcotest Simkit Test

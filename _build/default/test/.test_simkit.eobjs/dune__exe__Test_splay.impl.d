@@ -1,0 +1,1 @@
+test/test_splay.ml: Alcotest Baselines Bstnet Gen Printf QCheck2 QCheck_alcotest Result Simkit Test

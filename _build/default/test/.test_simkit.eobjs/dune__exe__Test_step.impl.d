@@ -1,0 +1,1 @@
+test/test_step.ml: Alcotest Array Bstnet Cbnet Float Gen List QCheck2 QCheck_alcotest Simkit Test

@@ -1,0 +1,1 @@
+test/test_tracekit.ml: Alcotest Array Gen List Printf QCheck2 QCheck_alcotest Simkit Test Tracekit Workloads

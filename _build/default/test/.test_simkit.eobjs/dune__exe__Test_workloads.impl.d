@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename Float Fun Gen Hashtbl List Option Printf QCheck2 QCheck_alcotest Simkit Sys Test Workloads

@@ -1,0 +1,157 @@
+(* The ΔΦ predictions must agree exactly with the potential difference
+   measured by performing the rotation — this is the correctness core
+   of Algorithm 1's rotate-or-forward decision. *)
+
+module T = Bstnet.Topology
+module Build = Bstnet.Build
+module P = Cbnet.Potential
+
+let install_random_weights rng t =
+  let n = T.n t in
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let c = Simkit.Rng.int rng 20 in
+      let w = c + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  ignore n
+
+let test_rank () =
+  Alcotest.(check (float 1e-9)) "rank 0" 0.0 (P.rank 0);
+  Alcotest.(check (float 1e-9)) "rank 1" 0.0 (P.rank 1);
+  Alcotest.(check (float 1e-9)) "rank 2" 1.0 (P.rank 2);
+  Alcotest.(check (float 1e-9)) "rank 8" 3.0 (P.rank 8);
+  Alcotest.(check (float 1e-9)) "negative clamps" 0.0 (P.rank (-3))
+
+let test_phi_empty_weights () =
+  let t = Build.balanced 15 in
+  Alcotest.(check (float 1e-9)) "zero potential" 0.0 (P.phi t)
+
+let test_phi_simple () =
+  let t = Build.balanced 3 in
+  T.set_weight t 0 2;
+  T.set_weight t 2 4;
+  T.set_weight t 1 8;
+  Alcotest.(check (float 1e-9)) "sum of ranks" (1.0 +. 2.0 +. 3.0) (P.phi t)
+
+let check_single_prediction t v =
+  let predicted = P.delta_promote t v in
+  let before = P.phi t in
+  let copy = T.copy t in
+  T.rotate_up copy v;
+  let actual = P.phi copy -. before in
+  if Float.abs (predicted -. actual) > 1e-9 then
+    Alcotest.failf "delta_promote %d: predicted %.6f, actual %.6f" v predicted actual
+
+let check_double_prediction t v =
+  let predicted = P.delta_double_promote t v in
+  let before = P.phi t in
+  let copy = T.copy t in
+  T.rotate_up copy v;
+  T.rotate_up copy v;
+  let actual = P.phi copy -. before in
+  if Float.abs (predicted -. actual) > 1e-9 then
+    Alcotest.failf "delta_double_promote %d: predicted %.6f, actual %.6f" v predicted
+      actual
+
+let test_delta_promote_matches_reality () =
+  let rng = Simkit.Rng.create 77 in
+  for _ = 1 to 50 do
+    let n = 2 + Simkit.Rng.int rng 60 in
+    let t = Build.random rng n in
+    install_random_weights rng t;
+    for v = 0 to n - 1 do
+      if not (T.is_root t v) then check_single_prediction t v
+    done
+  done
+
+let test_delta_double_promote_zig_zag () =
+  let rng = Simkit.Rng.create 78 in
+  let checked = ref 0 in
+  for _ = 1 to 80 do
+    let n = 3 + Simkit.Rng.int rng 60 in
+    let t = Build.random rng n in
+    install_random_weights rng t;
+    for v = 0 to n - 1 do
+      let p = T.parent t v in
+      if p <> T.nil && T.parent t p <> T.nil then begin
+        (* The prediction formula is specific to the zig-zag shape. *)
+        let zig_zag = T.is_left_child t v <> T.is_left_child t p in
+        if zig_zag then begin
+          check_double_prediction t v;
+          incr checked
+        end
+      end
+    done
+  done;
+  Alcotest.(check bool) "exercised many shapes" true (!checked > 100)
+
+let test_delta_promote_rejects_root () =
+  let t = Build.balanced 7 in
+  Alcotest.check_raises "root"
+    (Invalid_argument "Potential.delta_promote: node is the root") (fun () ->
+      ignore (P.delta_promote t 3))
+
+let test_rotation_toward_heavy_subtree_decreases_phi () =
+  (* A heavy node deep in the tree: promoting it should lower Φ. *)
+  let t = Build.path 8 in
+  (* Chain 0 -> 1 -> ... -> 7; make node 7 (deepest) very heavy. *)
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let c = if v = 7 then 1000 else 1 in
+      let w = c + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  Alcotest.(check bool) "promoting heavy node decreases potential" true
+    (P.delta_promote t 7 < 0.0)
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"single-rotation prediction is exact" ~count:200
+         Gen.(triple (int_range 2 40) (int_bound 10_000) (int_bound 1000))
+         (fun (n, wseed, pick) ->
+           let rng = Simkit.Rng.create wseed in
+           let t = Build.random rng n in
+           install_random_weights rng t;
+           let v = pick mod n in
+           if T.is_root t v then true
+           else begin
+             let predicted = P.delta_promote t v in
+             let before = P.phi t in
+             let copy = T.copy t in
+             T.rotate_up copy v;
+             Float.abs (predicted -. (P.phi copy -. before)) < 1e-9
+           end));
+  ]
+
+let () =
+  Alcotest.run "potential"
+    [
+      ( "rank-phi",
+        [
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "phi empty" `Quick test_phi_empty_weights;
+          Alcotest.test_case "phi simple" `Quick test_phi_simple;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "single matches reality" `Quick
+            test_delta_promote_matches_reality;
+          Alcotest.test_case "double (zig-zag) matches reality" `Quick
+            test_delta_double_promote_zig_zag;
+          Alcotest.test_case "rejects root" `Quick test_delta_promote_rejects_root;
+          Alcotest.test_case "heavy subtree attracts" `Quick
+            test_rotation_toward_heavy_subtree_decreases_phi;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,202 @@
+(* Fine-grained tests of the message protocol: birth handling, LCA
+   flips, update spawning, crossing deposits — the glue between step
+   execution and cost accounting. *)
+
+module T = Bstnet.Topology
+module M = Cbnet.Message
+module P = Cbnet.Protocol
+
+let config = Cbnet.Config.default
+
+type spawn_record = { mutable origin : int; mutable first : int; mutable count : int }
+
+let recorder () =
+  let r = { origin = -1; first = 0; count = 0 } in
+  let spawn ~origin ~first_increment =
+    r.origin <- origin;
+    r.first <- first_increment;
+    r.count <- r.count + 1
+  in
+  (r, spawn)
+
+let test_born_climbing () =
+  let t = Bstnet.Build.balanced 15 in
+  let r, spawn = recorder () in
+  let msg = M.data ~id:0 ~src:0 ~dst:14 ~birth:0 in
+  P.born t ~spawn msg;
+  Alcotest.(check int) "source weight +1" 1 (T.weight t 0);
+  Alcotest.(check int) "no update yet" 0 r.count;
+  Alcotest.(check bool) "climbing" true (msg.M.phase = M.Climbing);
+  Alcotest.(check int) "up credit" 0 msg.M.up_credit
+
+let test_born_at_lca () =
+  (* Destination inside the source's subtree: the source is the LCA. *)
+  let t = Bstnet.Build.balanced 15 in
+  let r, spawn = recorder () in
+  let msg = M.data ~id:0 ~src:3 ~dst:0 ~birth:0 in
+  P.born t ~spawn msg;
+  Alcotest.(check int) "update spawned" 1 r.count;
+  Alcotest.(check int) "at the source" 3 r.origin;
+  Alcotest.(check int) "full deposit" 2 r.first;
+  Alcotest.(check bool) "descending" true (msg.M.phase = M.Descending);
+  Alcotest.(check bool) "not delivered" false msg.M.delivered
+
+let test_born_self_message () =
+  let t = Bstnet.Build.balanced 15 in
+  let r, spawn = recorder () in
+  let msg = M.data ~id:0 ~src:5 ~dst:5 ~birth:0 in
+  P.born t ~spawn msg;
+  Alcotest.(check int) "update spawned" 1 r.count;
+  Alcotest.(check int) "deposit 2" 2 r.first;
+  Alcotest.(check bool) "delivered on the spot" true msg.M.delivered
+
+let test_born_at_root_lca () =
+  (* LCA = root: the full +2 must be deposited at the root. *)
+  let t = Bstnet.Build.balanced 15 in
+  let r, spawn = recorder () in
+  let msg = M.data ~id:0 ~src:7 ~dst:0 ~birth:0 in
+  P.born t ~spawn msg;
+  Alcotest.(check int) "origin is root" 7 r.origin;
+  Alcotest.(check int) "deposit 2" 2 r.first
+
+let test_update_message_turns () =
+  let t = Bstnet.Build.balanced 15 in
+  let _, spawn = recorder () in
+  let u = M.weight_update ~id:1 ~origin:0 ~birth:0 in
+  (match P.begin_turn config t ~spawn u with
+  | P.Plan plan ->
+      Alcotest.(check int) "two hops up" 2 plan.Cbnet.Step.hops;
+      P.apply_step t ~spawn u plan;
+      Alcotest.(check int) "+2 on parent" 2 (T.weight t 1);
+      Alcotest.(check int) "+2 on grandparent" 2 (T.weight t 3);
+      Alcotest.(check int) "now at grandparent" 3 u.M.current
+  | P.Delivered -> Alcotest.fail "should not be delivered yet");
+  (match P.begin_turn config t ~spawn u with
+  | P.Plan plan ->
+      P.apply_step t ~spawn u plan;
+      Alcotest.(check int) "+2 on root" 2 (T.weight t 7);
+      Alcotest.(check bool) "delivered at root" true u.M.delivered
+  | P.Delivered -> Alcotest.fail "one more step expected");
+  Alcotest.(check int) "total deposit 6" 6 (T.weight_added t)
+
+let test_full_delivery_accounting () =
+  (* Drive one message by hand and verify the per-node deposits. *)
+  let t = Bstnet.Build.balanced 15 in
+  let updates = ref [] in
+  let spawn ~origin ~first_increment =
+    T.add_weight t origin first_increment;
+    updates := M.weight_update ~id:99 ~origin ~birth:0 :: !updates
+  in
+  let msg = M.data ~id:0 ~src:0 ~dst:6 ~birth:0 in
+  P.born t ~spawn msg;
+  let guard = ref 20 in
+  while (not msg.M.delivered) && !guard > 0 do
+    decr guard;
+    match P.begin_turn config t ~spawn msg with
+    | P.Delivered -> msg.M.delivered <- true
+    | P.Plan plan -> P.apply_step t ~spawn msg plan
+  done;
+  Alcotest.(check bool) "delivered" true msg.M.delivered;
+  (* Path 0 -> 1 -> 3 (LCA) -> 5 -> 6, no rotations on a fresh tree:
+     source side +1 at 0 and 1, +2 at the LCA 3 (update's first),
+     descent +1 at 5 and 6. *)
+  Alcotest.(check int) "src" 1 (T.weight t 0);
+  Alcotest.(check int) "src parent" 1 (T.weight t 1);
+  Alcotest.(check int) "lca" 2 (T.weight t 3);
+  Alcotest.(check int) "descent" 1 (T.weight t 5);
+  Alcotest.(check int) "dst" 1 (T.weight t 6);
+  Alcotest.(check int) "hops: 2 up + 2 down" 4 msg.M.hops;
+  Alcotest.(check int) "one update" 1 (List.length !updates)
+
+let test_bypass_reclimb () =
+  (* Simulate a bypass: mid-descent, rewire the tree so the destination
+     leaves the current subtree; the message must flip back to
+     climbing. *)
+  let t = Bstnet.Build.balanced 15 in
+  let _, spawn = recorder () in
+  let msg = M.data ~id:0 ~src:0 ~dst:6 ~birth:0 in
+  P.born t ~spawn msg;
+  (* Hand-place the message at node 5 descending. *)
+  msg.M.current <- 5;
+  msg.M.phase <- M.Descending;
+  msg.M.update_spawned <- true;
+  (* An external rotation promotes 6 over 5: direction flips to Up. *)
+  T.rotate_up t 6;
+  match P.begin_turn config t ~spawn msg with
+  | P.Plan plan ->
+      Alcotest.(check bool) "climbing again" true (msg.M.phase = M.Climbing);
+      Alcotest.(check bool) "plans upward" true
+        (plan.Cbnet.Step.kind = Cbnet.Step.Bu_zig
+        || plan.Cbnet.Step.kind = Cbnet.Step.Bu_semi_zig_zig
+        || plan.Cbnet.Step.kind = Cbnet.Step.Bu_semi_zig_zag)
+  | P.Delivered -> Alcotest.fail "not delivered"
+
+let test_no_double_update_after_reclimb () =
+  let t = Bstnet.Build.balanced 15 in
+  let r, spawn = recorder () in
+  let msg = M.data ~id:0 ~src:0 ~dst:6 ~birth:0 in
+  P.born t ~spawn msg;
+  msg.M.current <- 3;
+  msg.M.phase <- M.Climbing;
+  msg.M.update_spawned <- true;
+  (* Reaching a (new) LCA with the update already sent must not spawn
+     another one. *)
+  (match P.begin_turn config t ~spawn msg with P.Plan _ | P.Delivered -> ());
+  Alcotest.(check int) "no second update" 0 r.count
+
+let test_td_rotation_over_root_deposit_order () =
+  (* Regression: a top-down rotation promoting the destination over the
+     root must deposit the crossing +1 before the rotation, or the root
+     aggregate absorbs it and overshoots 2m. *)
+  let t = Bstnet.Build.balanced 3 in
+  (* Preload weights so the Td_zig rotation fires: heavy destination. *)
+  T.set_weight t 0 1000;
+  T.set_weight t 1 1001;
+  let spawned = ref 0 in
+  let spawn ~origin ~first_increment =
+    T.add_weight t origin first_increment;
+    incr spawned
+  in
+  let msg = M.data ~id:0 ~src:1 ~dst:0 ~birth:0 in
+  (* 1 is the root: born at the LCA. *)
+  P.born t ~spawn msg;
+  Alcotest.(check int) "update spawned at root LCA" 1 !spawned;
+  let before_root_weight = T.weight t (T.root t) in
+  (match P.begin_turn (Cbnet.Config.make ~delta:0.01 ()) t ~spawn msg with
+  | P.Plan plan ->
+      Alcotest.(check bool) "rotation fires" true plan.Cbnet.Step.rotate;
+      P.apply_step t ~spawn msg plan
+  | P.Delivered -> Alcotest.fail "expected a step");
+  Alcotest.(check bool) "delivered" true msg.M.delivered;
+  (* The crossing +1 was applied below the root and telescopes away; the
+     promoted root must carry exactly the old total — depositing after
+     the rotation would have inflated it by one. *)
+  Alcotest.(check int) "root conserves deposits" before_root_weight
+    (T.weight t (T.root t))
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "born",
+        [
+          Alcotest.test_case "climbing" `Quick test_born_climbing;
+          Alcotest.test_case "at LCA" `Quick test_born_at_lca;
+          Alcotest.test_case "self message" `Quick test_born_self_message;
+          Alcotest.test_case "root LCA" `Quick test_born_at_root_lca;
+        ] );
+      ( "updates",
+        [
+          Alcotest.test_case "turn by turn" `Quick test_update_message_turns;
+          Alcotest.test_case "delivery accounting" `Quick test_full_delivery_accounting;
+        ] );
+      ( "bypass",
+        [
+          Alcotest.test_case "re-climb" `Quick test_bypass_reclimb;
+          Alcotest.test_case "no double update" `Quick test_no_double_update_after_reclimb;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "td-over-root deposit order" `Quick
+            test_td_rotation_over_root_deposit_order;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* End-to-end tests of sequential CBNet (Algorithm 1): cost accounting,
+   weight bookkeeping, adaptation behaviour, and Theorems 1 and 2. *)
+
+module T = Bstnet.Topology
+module Build = Bstnet.Build
+module Seq = Cbnet.Sequential
+
+let mk_trace reqs = Array.of_list (List.mapi (fun i (s, d) -> (i, s, d)) reqs)
+
+let test_single_message () =
+  let t = Build.balanced 15 in
+  let stats = Seq.run t (mk_trace [ (0, 14) ]) in
+  Alcotest.(check int) "one message" 1 stats.Cbnet.Run_stats.messages;
+  (* distance(0,14) = 6 in the balanced tree; no rotations happen on an
+     unweighted tree, and the weight update climbs from the root LCA. *)
+  Alcotest.(check int) "routing = hops + 1" (stats.Cbnet.Run_stats.routing_hops + 1)
+    stats.Cbnet.Run_stats.routing_cost;
+  Alcotest.(check int) "root weight 2" 2 (T.total_weight t);
+  Alcotest.(check int) "one update message" 1 stats.Cbnet.Run_stats.update_messages
+
+let test_self_message () =
+  let t = Build.balanced 7 in
+  let stats = Seq.run t (mk_trace [ (4, 4) ]) in
+  Alcotest.(check int) "delivered" 1 stats.Cbnet.Run_stats.messages;
+  (* The data part costs only the +1 of Def. 1; the spawned weight
+     update still climbs from node 4 to the root (2 hops here). *)
+  Alcotest.(check int) "routing = update hops + 1"
+    (stats.Cbnet.Run_stats.routing_hops + 1)
+    stats.Cbnet.Run_stats.routing_cost;
+  Alcotest.(check int) "update climb hops" 2 stats.Cbnet.Run_stats.routing_hops;
+  Alcotest.(check int) "root weight 2" 2 (T.total_weight t);
+  (* Counter of the self-addressed node is +2 (source and dest). *)
+  Alcotest.(check int) "counter" 2 (T.counter t 4)
+
+let test_root_weight_is_2m () =
+  let rng = Simkit.Rng.create 42 in
+  for _ = 1 to 10 do
+    let n = 4 + Simkit.Rng.int rng 60 in
+    let m = 50 + Simkit.Rng.int rng 500 in
+    let t = Build.balanced n in
+    let trace =
+      Array.init m (fun i -> (i, Simkit.Rng.int rng n, Simkit.Rng.int rng n))
+    in
+    ignore (Seq.run t trace);
+    Alcotest.(check int) "W(root) = 2m" (2 * m) (T.total_weight t)
+  done
+
+let test_counters_exact_without_rotations () =
+  (* With delta at its maximum and mild weights, no rotation fires:
+     the protocol's increments must reproduce the exact counters
+     c(v) = (#times source) + (#times destination). *)
+  let rng = Simkit.Rng.create 7 in
+  let n = 31 in
+  let m = 400 in
+  let t = Build.balanced n in
+  let trace = Array.init m (fun i -> (i, Simkit.Rng.int rng n, Simkit.Rng.int rng n)) in
+  (* A balanced tree under uniform traffic yields only weak potential
+     drops; still, force no rotations via a custom huge threshold by
+     pre-loading uniform weights?  Simpler: check against realized
+     rotations — if none happened, counters must be exact. *)
+  let stats = Seq.run t trace in
+  let expected = Array.make n 0 in
+  Array.iter
+    (fun (_, s, d) ->
+      expected.(s) <- expected.(s) + 1;
+      expected.(d) <- expected.(d) + 1)
+    trace;
+  if stats.Cbnet.Run_stats.rotations = 0 then
+    Bstnet.Check.assert_ok (Bstnet.Check.weights ~counters:expected t)
+  else begin
+    (* Otherwise the drift is bounded by the number of rotations. *)
+    let drift = ref 0 in
+    for v = 0 to n - 1 do
+      drift := !drift + abs (T.counter t v - expected.(v))
+    done;
+    Alcotest.(check bool) "drift bounded by 4x rotations" true
+      (!drift <= 4 * stats.Cbnet.Run_stats.rotations)
+  end
+
+let test_skewed_pair_converges () =
+  (* Two chatty nodes end up close; total rotations stay tiny. *)
+  let t = Build.balanced 15 in
+  let trace =
+    Array.init 2000 (fun i ->
+        if i mod 2 = 0 then (i, 3, 12) else (i, 12, 3))
+  in
+  let stats = Seq.run t trace in
+  Alcotest.(check bool) "distance shrank" true (T.distance t 3 12 <= 2);
+  Alcotest.(check bool) "rotations amortize out" true
+    (stats.Cbnet.Run_stats.rotations < 20);
+  Alcotest.(check bool) "hops near 2 per message" true
+    (stats.Cbnet.Run_stats.routing_hops < 3 * 2000);
+  Bstnet.Check.assert_ok (Bstnet.Check.structure t);
+  Bstnet.Check.assert_ok (Bstnet.Check.bst_order t);
+  Bstnet.Check.assert_ok (Bstnet.Check.interval_labels t)
+
+let test_rotations_subconstant_amortized () =
+  (* Theorem 2: O(n log (m/n)) rotations — far below m for large m. *)
+  let n = 64 in
+  let rng = Simkit.Rng.create 5 in
+  let m = 20_000 in
+  let t = Build.balanced n in
+  let trace = Array.init m (fun i -> (i, Simkit.Rng.int rng n, Simkit.Rng.int rng n)) in
+  let stats = Seq.run t trace in
+  let bound = float_of_int n *. Float.log2 (float_of_int m /. float_of_int n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rotations %d <= 3 * n log(m/n) = %.0f"
+       stats.Cbnet.Run_stats.rotations (3.0 *. bound))
+    true
+    (float_of_int stats.Cbnet.Run_stats.rotations <= 3.0 *. bound)
+
+let test_amortized_routing_entropy_bound () =
+  (* Theorem 1: amortized routing is O(H(S) + H(D)).  Constant factor
+     is checked loosely (the analysis gives ~ 2/(1 - δ/2) per bit plus
+     boundary terms; we assert a generous 6x + 8). *)
+  let n = 128 in
+  let m = 10_000 in
+  let trace = Workloads.Skewed.generate ~n ~m ~alpha:1.4 ~support:500 ~seed:3 () in
+  let runs = Workloads.Trace.to_runs trace in
+  let demand = Baselines.Demand.of_trace ~n runs in
+  let h =
+    Baselines.Demand.source_entropy demand +. Baselines.Demand.destination_entropy demand
+  in
+  let t = Build.balanced n in
+  let stats = Seq.run t runs in
+  let amortized = float_of_int stats.Cbnet.Run_stats.routing_cost /. float_of_int m in
+  Alcotest.(check bool)
+    (Printf.sprintf "amortized %.2f within 6*(H=%.2f)+8" amortized h)
+    true
+    (amortized <= (6.0 *. h) +. 8.0)
+
+let test_work_decomposition () =
+  let t = Build.balanced 31 in
+  let rng = Simkit.Rng.create 9 in
+  let trace = Array.init 500 (fun i -> (i, Simkit.Rng.int rng 31, Simkit.Rng.int rng 31)) in
+  let stats = Seq.run t trace in
+  Alcotest.(check (float 1e-6)) "work = routing + R*rotations"
+    (float_of_int stats.Cbnet.Run_stats.routing_cost
+    +. float_of_int stats.Cbnet.Run_stats.rotations)
+    stats.Cbnet.Run_stats.work
+
+let test_rotation_cost_scales_work () =
+  let mk () =
+    let t = Build.balanced 31 in
+    let rng = Simkit.Rng.create 9 in
+    ( t,
+      Array.init 500 (fun i -> (i, Simkit.Rng.int rng 31, Simkit.Rng.int rng 31)) )
+  in
+  let t1, tr1 = mk () in
+  let s1 = Seq.run ~config:(Cbnet.Config.make ~rotation_cost:1.0 ()) t1 tr1 in
+  let t2, tr2 = mk () in
+  let s2 = Seq.run ~config:(Cbnet.Config.make ~rotation_cost:5.0 ()) t2 tr2 in
+  Alcotest.(check int) "same rotations" s1.Cbnet.Run_stats.rotations
+    s2.Cbnet.Run_stats.rotations;
+  Alcotest.(check (float 1e-6)) "work scales with R"
+    (s1.Cbnet.Run_stats.work
+    +. (4.0 *. float_of_int s1.Cbnet.Run_stats.rotations))
+    s2.Cbnet.Run_stats.work
+
+let test_unsorted_trace_rejected () =
+  let t = Build.balanced 7 in
+  Alcotest.check_raises "unsorted" (Invalid_argument "Sequential.run: trace not sorted")
+    (fun () -> ignore (Seq.run t [| (5, 0, 1); (2, 1, 0) |]))
+
+let test_out_of_range_rejected () =
+  let t = Build.balanced 7 in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Sequential.run: endpoint out of range") (fun () ->
+      ignore (Seq.run t [| (0, 0, 9) |]))
+
+let test_makespan_accounts_idle_time () =
+  let t = Build.balanced 7 in
+  (* Two messages far apart in time: makespan covers the gap. *)
+  let stats = Seq.run t [| (0, 0, 6); (1000, 6, 0) |] in
+  Alcotest.(check bool) "makespan spans arrivals" true
+    (stats.Cbnet.Run_stats.makespan >= 1000)
+
+let test_empty_trace () =
+  let t = Build.balanced 7 in
+  let stats = Seq.run t [||] in
+  Alcotest.(check int) "no messages" 0 stats.Cbnet.Run_stats.messages;
+  Alcotest.(check int) "no work" 0 stats.Cbnet.Run_stats.routing_cost
+
+let test_ancestor_descendant_messages () =
+  (* Destination is an ancestor of the source and vice versa. *)
+  let t = Build.balanced 15 in
+  let stats = Seq.run t (mk_trace [ (0, 7); (7, 0); (0, 1); (1, 0) ]) in
+  Alcotest.(check int) "all delivered" 4 stats.Cbnet.Run_stats.messages;
+  Alcotest.(check int) "W(root)=8" 8 (T.total_weight t)
+
+let test_adversarial_chain () =
+  (* Degenerate initial topology: messages between the two ends. *)
+  let t = Build.path 32 in
+  let trace = Array.init 500 (fun i -> (i, (if i mod 2 = 0 then 0 else 31), if i mod 2 = 0 then 31 else 0)) in
+  let stats = Seq.run t trace in
+  Alcotest.(check bool) "adapted: distance collapsed" true (T.distance t 0 31 < 8);
+  Alcotest.(check bool) "work well below naive m*n" true
+    (stats.Cbnet.Run_stats.work < float_of_int (500 * 32));
+  Bstnet.Check.assert_ok (Bstnet.Check.structure t)
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"W(root) = 2m and tree valid after any trace" ~count:60
+         Gen.(triple (int_range 2 48) (int_range 1 300) (int_bound 99999))
+         (fun (n, m, seed) ->
+           let rng = Simkit.Rng.create seed in
+           let t = Build.balanced n in
+           let trace =
+             Array.init m (fun i -> (i, Simkit.Rng.int rng n, Simkit.Rng.int rng n))
+           in
+           ignore (Seq.run t trace);
+           T.total_weight t = 2 * m
+           && Result.is_ok (Bstnet.Check.structure t)
+           && Result.is_ok (Bstnet.Check.bst_order t)
+           && Result.is_ok (Bstnet.Check.interval_labels t)));
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"routing cost >= m (the +1 per message)" ~count:60
+         Gen.(triple (int_range 2 32) (int_range 1 200) (int_bound 99999))
+         (fun (n, m, seed) ->
+           let rng = Simkit.Rng.create seed in
+           let t = Build.balanced n in
+           let trace =
+             Array.init m (fun i -> (i, Simkit.Rng.int rng n, Simkit.Rng.int rng n))
+           in
+           let stats = Seq.run t trace in
+           stats.Cbnet.Run_stats.routing_cost >= m));
+  ]
+
+let () =
+  Alcotest.run "sequential"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "single message" `Quick test_single_message;
+          Alcotest.test_case "self message" `Quick test_self_message;
+          Alcotest.test_case "empty trace" `Quick test_empty_trace;
+          Alcotest.test_case "ancestor/descendant" `Quick test_ancestor_descendant_messages;
+          Alcotest.test_case "unsorted rejected" `Quick test_unsorted_trace_rejected;
+          Alcotest.test_case "range rejected" `Quick test_out_of_range_rejected;
+        ] );
+      ( "weights",
+        [
+          Alcotest.test_case "W(root) = 2m" `Quick test_root_weight_is_2m;
+          Alcotest.test_case "counters exact / bounded drift" `Quick
+            test_counters_exact_without_rotations;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "skewed pair converges" `Quick test_skewed_pair_converges;
+          Alcotest.test_case "thm2 rotation bound" `Quick
+            test_rotations_subconstant_amortized;
+          Alcotest.test_case "thm1 entropy bound" `Quick
+            test_amortized_routing_entropy_bound;
+          Alcotest.test_case "adversarial chain" `Quick test_adversarial_chain;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "work decomposition" `Quick test_work_decomposition;
+          Alcotest.test_case "rotation cost scales" `Quick test_rotation_cost_scales_work;
+          Alcotest.test_case "makespan idle time" `Quick test_makespan_accounts_idle_time;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,353 @@
+(* Step planning and execution: direction, shape classification,
+   rotate-or-forward decision, message movement, cluster contents. *)
+
+module T = Bstnet.Topology
+module Build = Bstnet.Build
+module S = Cbnet.Step
+module P = Cbnet.Potential
+
+let config = Cbnet.Config.default
+let always_rotate = Cbnet.Config.make ~delta:0.01 ()
+
+let install_weights t weights =
+  Array.iteri (fun v w -> T.set_weight t v w) weights
+
+(* A 15-node balanced tree with uniform unit counters; Φ gains from
+   rotations are mild so δ=2 rejects everything. *)
+let uniform_tree () =
+  let t = Build.balanced 15 in
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let w = 1 + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  t
+
+let test_plan_none_at_destination () =
+  let t = uniform_tree () in
+  Alcotest.(check bool) "delivered" true (S.plan config t ~current:5 ~dst:5 = None)
+
+let test_forward_up_two_levels () =
+  let t = uniform_tree () in
+  (* Node 0 heading to 12: direction up, two levels available. *)
+  match S.plan config t ~current:0 ~dst:12 with
+  | None -> Alcotest.fail "expected a plan"
+  | Some p ->
+      Alcotest.(check bool) "routing step" false p.S.rotate;
+      Alcotest.(check int) "two hops" 2 p.S.hops;
+      Alcotest.(check int) "lands at grandparent" 3 p.S.new_current;
+      Alcotest.(check (list int)) "passes parent then grandparent" [ 1; 3 ] p.S.passed
+
+let test_forward_up_stops_at_lca () =
+  let t = uniform_tree () in
+  (* Node 2 heading to 5: LCA is 3 (2's grandparent)?  2's parent is 1,
+     and direction at 1 toward 5 is still up, so the step may take two
+     levels and land exactly on the LCA 3. *)
+  (match S.plan config t ~current:2 ~dst:5 with
+  | None -> Alcotest.fail "expected a plan"
+  | Some p -> Alcotest.(check int) "lands on LCA" 3 p.S.new_current);
+  (* Node 2 heading to 0: LCA is 1 = parent -> single-level boundary. *)
+  match S.plan config t ~current:2 ~dst:0 with
+  | None -> Alcotest.fail "expected a plan"
+  | Some p ->
+      Alcotest.(check bool) "bu-zig kind" true (p.S.kind = S.Bu_zig);
+      Alcotest.(check int) "one hop" 1 p.S.hops;
+      Alcotest.(check int) "lands on parent" 1 p.S.new_current
+
+let test_forward_down_two_levels () =
+  let t = uniform_tree () in
+  match S.plan config t ~current:7 ~dst:0 with
+  | None -> Alcotest.fail "expected a plan"
+  | Some p ->
+      Alcotest.(check bool) "routing" false p.S.rotate;
+      Alcotest.(check bool) "td zig-zig shape" true (p.S.kind = S.Td_semi_zig_zig);
+      Alcotest.(check int) "lands two levels down" 1 p.S.new_current;
+      Alcotest.(check (list int)) "passes" [ 3; 1 ] p.S.passed
+
+let test_forward_down_one_level () =
+  let t = uniform_tree () in
+  match S.plan config t ~current:1 ~dst:0 with
+  | None -> Alcotest.fail "expected a plan"
+  | Some p ->
+      Alcotest.(check bool) "td-zig" true (p.S.kind = S.Td_zig);
+      Alcotest.(check int) "one hop" 1 p.S.hops;
+      Alcotest.(check int) "lands on destination" 0 p.S.new_current
+
+let test_kind_classification_up () =
+  let t = uniform_tree () in
+  (* 0 is left child of 1, 1 left child of 3: zig-zig. *)
+  (match S.plan config t ~current:0 ~dst:14 with
+  | Some p -> Alcotest.(check string) "zig-zig" "bu-semi-zig-zig" (S.kind_to_string p.S.kind)
+  | None -> Alcotest.fail "plan");
+  (* 2 is right child of 1, 1 left child of 3: zig-zag. *)
+  match S.plan config t ~current:2 ~dst:14 with
+  | Some p -> Alcotest.(check string) "zig-zag" "bu-semi-zig-zag" (S.kind_to_string p.S.kind)
+  | None -> Alcotest.fail "plan"
+
+let test_kind_classification_down () =
+  let t = uniform_tree () in
+  (* From 7 toward 0: 3 then 1, both left children: zig-zig. *)
+  (match S.plan config t ~current:7 ~dst:0 with
+  | Some p -> Alcotest.(check string) "zig-zig" "td-semi-zig-zig" (S.kind_to_string p.S.kind)
+  | None -> Alcotest.fail "plan");
+  (* From 7 toward 5: 3 (left) then 5 (right): zig-zag. *)
+  match S.plan config t ~current:7 ~dst:5 with
+  | Some p ->
+      Alcotest.(check string) "zig-zag" "td-semi-zig-zag" (S.kind_to_string p.S.kind);
+      Alcotest.(check int) "lands on 5" 5 p.S.new_current
+  | None -> Alcotest.fail "plan"
+
+let test_rotation_execution_up_zig_zig () =
+  let t = uniform_tree () in
+  (* Make the subtree under 1 very heavy so promotion pays. *)
+  install_weights t (Array.make 15 0);
+  let counters = Array.make 15 1 in
+  counters.(0) <- 500;
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let w = counters.(v) + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  match S.plan always_rotate t ~current:0 ~dst:14 with
+  | None -> Alcotest.fail "plan"
+  | Some p ->
+      Alcotest.(check bool) "rotates" true p.S.rotate;
+      Alcotest.(check int) "one rotation" 1 p.S.rotations;
+      let phi_before = P.phi t in
+      S.execute t p;
+      let phi_after = P.phi t in
+      Alcotest.(check bool) "potential dropped as predicted" true
+        (Float.abs (phi_after -. phi_before -. p.S.delta_phi) < 1e-9);
+      Bstnet.Check.assert_ok (Bstnet.Check.structure t);
+      Bstnet.Check.assert_ok (Bstnet.Check.bst_order t);
+      Bstnet.Check.assert_ok (Bstnet.Check.interval_labels t);
+      (* Message moved to the parent, now two levels higher. *)
+      Alcotest.(check int) "new current" 1 p.S.new_current;
+      Alcotest.(check int) "parent climbed" 1 (T.depth t 1)
+
+let test_rotation_execution_down_zig_zag () =
+  let t = uniform_tree () in
+  let counters = Array.make 15 1 in
+  counters.(5) <- 500;
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let w = counters.(v) + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  match S.plan always_rotate t ~current:7 ~dst:5 with
+  | None -> Alcotest.fail "plan"
+  | Some p ->
+      Alcotest.(check bool) "rotates" true p.S.rotate;
+      Alcotest.(check int) "double rotation" 2 p.S.rotations;
+      let phi_before = P.phi t in
+      S.execute t p;
+      Alcotest.(check bool) "delta matches" true
+        (Float.abs (P.phi t -. phi_before -. p.S.delta_phi) < 1e-9);
+      Alcotest.(check int) "z promoted to old current depth" 0 (T.depth t 5);
+      Bstnet.Check.assert_ok (Bstnet.Check.structure t);
+      Bstnet.Check.assert_ok (Bstnet.Check.bst_order t)
+
+let test_cluster_contents () =
+  let t = uniform_tree () in
+  (match S.plan config t ~current:0 ~dst:14 with
+  | Some p ->
+      List.iter
+        (fun v ->
+          if not (List.mem v p.S.cluster) then Alcotest.failf "missing %d in cluster" v)
+        [ 0; 1; 3 ]
+  | None -> Alcotest.fail "plan");
+  (* Skew the weights so the bottom-up zig-zig rotation really fires:
+     its cluster must then include the anchor above the grandparent. *)
+  let t = Bstnet.Build.balanced 15 in
+  let counters = Array.make 15 1 in
+  counters.(0) <- 500;
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let w = counters.(v) + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  match S.plan always_rotate t ~current:0 ~dst:14 with
+  | Some p ->
+      Alcotest.(check bool) "rotation fires" true p.S.rotate;
+      Alcotest.(check bool) "rotation cluster includes anchor" true
+        (List.mem 7 p.S.cluster)
+  | None -> Alcotest.fail "plan"
+
+let test_update_message_plan () =
+  let t = uniform_tree () in
+  (* dst = nil: climb to the root. *)
+  let p = S.plan_up config t ~current:0 ~dst:T.nil in
+  Alcotest.(check int) "two levels" 2 p.S.hops;
+  let p2 = S.plan_up config t ~current:3 ~dst:T.nil in
+  Alcotest.(check bool) "boundary at root" true (p2.S.kind = S.Bu_zig)
+
+let test_update_never_rotates_onto_root () =
+  (* Regression for the W(root) = 2m leaks: a weight-update message's
+     boundary step at the root must forward (deliver +2), never promote
+     itself above the root, however profitable the rotation looks. *)
+  let t = Build.balanced 7 in
+  let counters = Array.make 7 1 in
+  counters.(2) <- 1000 (* make promoting 2's ancestors very attractive *);
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let w = counters.(v) + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  (* Update at 1 (child of root 3): boundary step. *)
+  let p = S.plan_up always_rotate t ~current:1 ~dst:T.nil in
+  Alcotest.(check bool) "boundary step forwards" false p.S.rotate;
+  Alcotest.(check int) "delivers to root" 3 p.S.new_current;
+  (* Update at 2 (grandchild, zig-zag shape with g = root): the
+     double-promotion onto the root is also forbidden. *)
+  let p2 = S.plan_up always_rotate t ~current:2 ~dst:T.nil in
+  if p2.S.kind = S.Bu_semi_zig_zag then
+    Alcotest.(check bool) "no zig-zag onto root" false p2.S.rotate;
+  (* A DATA message in the same spot may still rotate (only updates are
+     restricted). *)
+  let p3 = S.plan_up always_rotate t ~current:2 ~dst:6 in
+  Alcotest.(check bool) "data message may rotate" true
+    (p3.S.rotate || p3.S.delta_phi >= -0.01)
+
+let test_delta_threshold_boundary () =
+  (* The same tree, two configs: a tight delta rotates, the default
+     forwards. *)
+  let t = uniform_tree () in
+  let counters = Array.make 15 1 in
+  counters.(0) <- 6 (* mild skew: delta_phi in (-2, -0.2) *);
+  let rec go v =
+    if v = T.nil then 0
+    else begin
+      let w = counters.(v) + go (T.left t v) + go (T.right t v) in
+      T.set_weight t v w;
+      w
+    end
+  in
+  ignore (go (T.root t));
+  match
+    ( S.plan config t ~current:0 ~dst:14,
+      S.plan (Cbnet.Config.make ~delta:0.05 ()) t ~current:0 ~dst:14 )
+  with
+  | Some a, Some b ->
+      Alcotest.(check bool) "default forwards" false a.S.rotate;
+      Alcotest.(check bool) "tight delta rotates" true b.S.rotate
+  | _ -> Alcotest.fail "plans"
+
+(* Drive one message through random trees with both extreme configs:
+   the message must always reach its destination within bounded steps,
+   and the tree must stay valid after every step. *)
+let drive_message config t src dst =
+  let budget = ref (8 * T.n t) in
+  let current = ref src in
+  while !current <> dst do
+    decr budget;
+    if !budget < 0 then Alcotest.failf "no progress from %d to %d" src dst;
+    match S.plan config t ~current:!current ~dst with
+    | None -> Alcotest.failf "plan None before arrival at %d" dst
+    | Some p ->
+        S.execute t p;
+        current := p.S.new_current;
+        Bstnet.Check.assert_ok (Bstnet.Check.structure t);
+        Bstnet.Check.assert_ok (Bstnet.Check.bst_order t);
+        Bstnet.Check.assert_ok (Bstnet.Check.interval_labels t)
+  done
+
+let test_message_always_arrives () =
+  let rng = Simkit.Rng.create 123 in
+  List.iter
+    (fun cfg ->
+      for _ = 1 to 25 do
+        let n = 2 + Simkit.Rng.int rng 64 in
+        let t = Build.random rng n in
+        let rec go v =
+          if v = T.nil then 0
+          else begin
+            let w = 1 + Simkit.Rng.int rng 5 + go (T.left t v) + go (T.right t v) in
+            T.set_weight t v w;
+            w
+          end
+        in
+        ignore (go (T.root t));
+        let src = Simkit.Rng.int rng n and dst = Simkit.Rng.int rng n in
+        if src <> dst then drive_message cfg t src dst
+      done)
+    [ config; always_rotate ]
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    QCheck_alcotest.to_alcotest
+      (Test.make ~name:"every plan's delta_phi is exact" ~count:200
+         Gen.(quad (int_range 2 48) (int_bound 9999) (int_bound 999) (int_bound 999))
+         (fun (n, seed, a, b) ->
+           let rng = Simkit.Rng.create seed in
+           let t = Build.random rng n in
+           let rec go v =
+             if v = T.nil then 0
+             else begin
+               let w = 1 + Simkit.Rng.int rng 9 + go (T.left t v) + go (T.right t v) in
+               T.set_weight t v w;
+               w
+             end
+           in
+           ignore (go (T.root t));
+           let src = a mod n and dst = b mod n in
+           if src = dst then true
+           else
+             match S.plan always_rotate t ~current:src ~dst with
+             | None -> false
+             | Some p ->
+                 if not p.S.rotate then true
+                 else begin
+                   let before = P.phi t in
+                   S.execute t p;
+                   Float.abs (P.phi t -. before -. p.S.delta_phi) < 1e-9
+                 end));
+  ]
+
+let () =
+  Alcotest.run "step"
+    [
+      ( "planning",
+        [
+          Alcotest.test_case "none at destination" `Quick test_plan_none_at_destination;
+          Alcotest.test_case "forward up 2" `Quick test_forward_up_two_levels;
+          Alcotest.test_case "stops at LCA" `Quick test_forward_up_stops_at_lca;
+          Alcotest.test_case "forward down 2" `Quick test_forward_down_two_levels;
+          Alcotest.test_case "forward down 1" `Quick test_forward_down_one_level;
+          Alcotest.test_case "kinds up" `Quick test_kind_classification_up;
+          Alcotest.test_case "kinds down" `Quick test_kind_classification_down;
+          Alcotest.test_case "update message plan" `Quick test_update_message_plan;
+          Alcotest.test_case "delta threshold" `Quick test_delta_threshold_boundary;
+          Alcotest.test_case "update root boundary (regression)" `Quick
+            test_update_never_rotates_onto_root;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "bu zig-zig rotation" `Quick test_rotation_execution_up_zig_zig;
+          Alcotest.test_case "td zig-zag rotation" `Quick
+            test_rotation_execution_down_zig_zag;
+          Alcotest.test_case "clusters" `Quick test_cluster_contents;
+          Alcotest.test_case "message always arrives" `Quick test_message_always_arrives;
+        ] );
+      ("properties", qcheck_tests);
+    ]
