@@ -6,9 +6,16 @@
      dune exec bench/main.exe -- fig2 fig3 ... -- a subset
      dune exec bench/main.exe -- --full ...    -- paper-size workloads
      dune exec bench/main.exe -- --seeds 30    -- paper-size repetitions
+     dune exec bench/main.exe -- --jobs 8 ...  -- worker domains (default:
+                                                  CBNET_JOBS or cores - 1)
+     dune exec bench/main.exe -- --json F      -- machine-readable bench
+                                                  export for CI perf tracking
+     dune exec bench/main.exe -- bench-smoke --json F
+                                               -- tiny-scale smoke matrix
 
    Each FIG* table regenerates the rows/series of the corresponding
-   figure of the paper; micro runs Bechamel on the core operations. *)
+   figure of the paper; micro runs Bechamel on the core operations.
+   Exit status: 0 on success, 2 on a bad flag or artifact name. *)
 
 let micro fmt =
   let open Bechamel in
@@ -84,41 +91,159 @@ let micro fmt =
     (List.sort compare !rows);
   Format.fprintf fmt "@."
 
-let export_csv dir options =
+(* Run the full (workload x algorithm) matrix cell by cell, timing
+   each cell's wall clock.  Seeds fan out across the pool inside each
+   cell; the measurements are bit-identical to a sequential run. *)
+let timed_matrix (options : Runtime.Figures.options) =
+  let run pool =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun algo ->
+            let t0 = Unix.gettimeofday () in
+            let c =
+              Runtime.Experiment.run_cell ?pool ~scale:options.Runtime.Figures.scale
+                ~seeds:options.Runtime.Figures.seeds
+                ~lambda:options.Runtime.Figures.lambda
+                ~base_seed:options.Runtime.Figures.base_seed ~workload ~algo ()
+            in
+            (c, Unix.gettimeofday () -. t0))
+          Runtime.Algo.all)
+      Workloads.Catalog.paper_six
+  in
+  if options.Runtime.Figures.jobs <= 1 then run None
+  else
+    Simkit.Pool.with_pool ~num_domains:options.Runtime.Figures.jobs (fun p ->
+        run (Some p))
+
+let detect_commit () =
+  let non_empty = function Some s when String.trim s <> "" -> Some s | _ -> None in
+  match non_empty (Sys.getenv_opt "GITHUB_SHA") with
+  | Some s -> s
+  | None -> (
+      match non_empty (Sys.getenv_opt "CBNET_COMMIT") with
+      | Some s -> s
+      | None -> (
+          try
+            let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+            let line = try String.trim (input_line ic) with End_of_file -> "" in
+            match Unix.close_process_in ic with
+            | Unix.WEXITED 0 when line <> "" -> line
+            | _ -> "unknown"
+          with _ -> "unknown"))
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let export_json options path =
+  let cells = timed_matrix options in
+  Runtime.Export.bench_json ~commit:(detect_commit ())
+    ~timestamp:(iso8601_now ()) cells path;
+  List.iter
+    (fun ((c : Runtime.Experiment.measurement), wall) ->
+      Format.printf "%-14s %-5s work=%-12.1f makespan=%-9.1f wall=%.3fs@."
+        c.Runtime.Experiment.workload
+        (Runtime.Algo.name c.Runtime.Experiment.algo)
+        c.Runtime.Experiment.work.Simkit.Stats.mean
+        c.Runtime.Experiment.makespan.Simkit.Stats.mean wall)
+    cells;
+  Format.printf "wrote %d cells to %s@." (List.length cells) path
+
+let export_csv dir (options : Runtime.Figures.options) =
+  let pool_scope f =
+    if options.Runtime.Figures.jobs <= 1 then f None
+    else
+      Simkit.Pool.with_pool ~num_domains:options.Runtime.Figures.jobs (fun p ->
+          f (Some p))
+  in
   let cells =
-    Runtime.Experiment.run_matrix ~scale:options.Runtime.Figures.scale
-      ~seeds:options.Runtime.Figures.seeds
-      ~lambda:options.Runtime.Figures.lambda
-      ~base_seed:options.Runtime.Figures.base_seed
-      ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ()
+    pool_scope (fun pool ->
+        Runtime.Experiment.run_matrix ?pool ~scale:options.Runtime.Figures.scale
+          ~seeds:options.Runtime.Figures.seeds
+          ~lambda:options.Runtime.Figures.lambda
+          ~base_seed:options.Runtime.Figures.base_seed
+          ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ())
   in
   let path = Filename.concat dir "measurements.csv" in
   Runtime.Export.measurements_csv cells path;
   Format.printf "wrote %d cells to %s@." (List.length cells) path
 
+let usage =
+  "usage: main.exe [--full] [--seeds N] [--jobs N] [--csv DIR] [--json FILE] \
+   [ARTIFACT ...]\n\
+   artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
+   micro bench-smoke\n\
+   (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
+  \ best combined with --json)\n\
+   --jobs N parallelizes seed runs over N domains (default: CBNET_JOBS, else\n\
+  \ cores - 1); results are bit-identical at every setting."
+
+let die fmt =
+  Format.kasprintf
+    (fun msg ->
+      prerr_endline ("main.exe: " ^ msg);
+      prerr_endline usage;
+      exit 2)
+    fmt
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let seeds =
-    let rec find = function
-      | "--seeds" :: v :: _ -> int_of_string v
-      | _ :: rest -> find rest
-      | [] -> if full then 30 else 3
-    in
-    find args
+  let full = ref false in
+  let seeds = ref None in
+  let jobs = ref None in
+  let csv = ref None in
+  let json = ref None in
+  let names = ref [] in
+  let int_value flag v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | _ -> die "%s expects a positive integer, got %S" flag v
   in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        full := true;
+        parse rest
+    | [ "--seeds" ] | [ "--jobs" ] | [ "--csv" ] | [ "--json" ] ->
+        die "missing value for trailing option"
+    | "--seeds" :: v :: rest ->
+        seeds := Some (int_value "--seeds" v);
+        parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := Some (int_value "--jobs" v);
+        parse rest
+    | "--csv" :: dir :: rest ->
+        csv := Some dir;
+        parse rest
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
+        die "unknown option %s" arg
+    | name :: rest ->
+        names := name :: !names;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let names = List.rev !names in
   let options =
     {
-      Runtime.Figures.default_options with
       Runtime.Figures.scale =
-        (if full then Workloads.Catalog.Full else Workloads.Catalog.Default);
-      seeds;
+        (if !full then Workloads.Catalog.Full else Workloads.Catalog.Default);
+      seeds = (match !seeds with Some s -> s | None -> if !full then 30 else 3);
+      lambda = Runtime.Figures.default_options.Runtime.Figures.lambda;
+      base_seed = Runtime.Figures.default_options.Runtime.Figures.base_seed;
+      jobs = (match !jobs with Some j -> j | None -> Simkit.Pool.default_jobs ());
     }
   in
-  let wanted =
-    List.filter
-      (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
-      (List.filter (fun a -> a <> string_of_int seeds) args)
+  let smoke_options =
+    {
+      options with
+      Runtime.Figures.scale = Workloads.Catalog.Smoke;
+      seeds = (match !seeds with Some s -> s | None -> 2);
+    }
   in
   let fmt = Format.std_formatter in
   let artifacts =
@@ -138,30 +263,45 @@ let () =
       ("latency", fun () -> Runtime.Figures.latency ~options fmt);
       ("trace-map", fun () -> Runtime.Figures.trace_map_sweep ~options fmt);
       ("micro", fun () -> micro fmt);
+      ( "bench-smoke",
+        fun () ->
+          Format.printf
+            "== BENCH-SMOKE: tiny-scale matrix (seeds=%d, jobs=%d) ==@."
+            smoke_options.Runtime.Figures.seeds
+            smoke_options.Runtime.Figures.jobs;
+          match !json with
+          | Some path -> export_json smoke_options path
+          | None ->
+              List.iter
+                (fun ((c : Runtime.Experiment.measurement), wall) ->
+                  Format.printf
+                    "%-14s %-5s work=%-12.1f makespan=%-9.1f wall=%.3fs@."
+                    c.Runtime.Experiment.workload
+                    (Runtime.Algo.name c.Runtime.Experiment.algo)
+                    c.Runtime.Experiment.work.Simkit.Stats.mean
+                    c.Runtime.Experiment.makespan.Simkit.Stats.mean wall)
+                (timed_matrix smoke_options) );
     ]
   in
-  let csv_dir =
-    let rec find = function
-      | "--csv" :: dir :: _ -> Some dir
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
-  in
-  (match csv_dir with Some dir -> export_csv dir options | None -> ());
-  let wanted = List.filter (fun a -> Some a <> csv_dir) wanted in
-  match wanted with
+  (* Validate every artifact name before running anything: CI must
+     fail loudly on a typo, not run a partial subset first. *)
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name artifacts) then
+        die "unknown artifact %S (known: %s)" name
+          (String.concat ", " (List.map fst artifacts)))
+    names;
+  (match !csv with Some dir -> export_csv dir options | None -> ());
+  (match !json with
+  | Some path when not (List.mem "bench-smoke" names) ->
+      (* bench-smoke writes the JSON itself, at smoke scale. *)
+      export_json options path
+  | _ -> ());
+  match names with
   | [] ->
-      (* Everything: figures share one matrix computation. *)
-      Runtime.Figures.all ~options fmt;
-      micro fmt
-  | names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name artifacts with
-          | Some run -> run ()
-          | None ->
-              Format.eprintf "unknown artifact %S (known: %s)@." name
-                (String.concat ", " (List.map fst artifacts));
-              exit 2)
-        names
+      if !csv = None && !json = None then begin
+        (* Everything: figures share one matrix computation. *)
+        Runtime.Figures.all ~options fmt;
+        micro fmt
+      end
+  | names -> List.iter (fun name -> (List.assoc name artifacts) ()) names

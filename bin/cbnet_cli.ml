@@ -5,12 +5,20 @@ open Cmdliner
 
 let scale_arg =
   let conv_scale =
-    Arg.enum [ ("default", Workloads.Catalog.Default); ("full", Workloads.Catalog.Full) ]
+    Arg.enum
+      [
+        ("smoke", Workloads.Catalog.Smoke);
+        ("default", Workloads.Catalog.Default);
+        ("full", Workloads.Catalog.Full);
+      ]
   in
   Arg.(
     value
     & opt conv_scale Workloads.Catalog.Default
-    & info [ "scale" ] ~doc:"Workload scale: $(b,default) (minutes) or $(b,full) (paper sizes).")
+    & info [ "scale" ]
+        ~doc:
+          "Workload scale: $(b,smoke) (seconds), $(b,default) (minutes) or \
+           $(b,full) (paper sizes).")
 
 let seeds_arg =
   Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"Repetitions per cell (paper: 30).")
@@ -21,11 +29,21 @@ let lambda_arg =
 let base_seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base random seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains for multi-seed runs (results are bit-identical at \
+           every setting); 0 = CBNET_JOBS or cores - 1.")
+
 let options_term =
-  let make scale seeds lambda base_seed =
-    { Runtime.Figures.scale; seeds; lambda; base_seed }
+  let make scale seeds lambda base_seed jobs =
+    let jobs = if jobs <= 0 then Simkit.Pool.default_jobs () else jobs in
+    { Runtime.Figures.scale; seeds; lambda; base_seed; jobs }
   in
-  Term.(const make $ scale_arg $ seeds_arg $ lambda_arg $ base_seed_arg)
+  Term.(const make $ scale_arg $ seeds_arg $ lambda_arg $ base_seed_arg $ jobs_arg)
 
 let figure_cmd name doc
     (render : ?options:Runtime.Figures.options -> Format.formatter -> unit) =
@@ -116,12 +134,18 @@ let matrix_cmd =
     Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc:"Output CSV path.")
   in
   let run out options =
-    let cells =
-      Runtime.Experiment.run_matrix ~scale:options.Runtime.Figures.scale
+    let matrix pool =
+      Runtime.Experiment.run_matrix ?pool ~scale:options.Runtime.Figures.scale
         ~seeds:options.Runtime.Figures.seeds
         ~lambda:options.Runtime.Figures.lambda
         ~base_seed:options.Runtime.Figures.base_seed
         ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ()
+    in
+    let cells =
+      if options.Runtime.Figures.jobs <= 1 then matrix None
+      else
+        Simkit.Pool.with_pool ~num_domains:options.Runtime.Figures.jobs
+          (fun p -> matrix (Some p))
     in
     Runtime.Export.measurements_csv cells out;
     Format.printf "wrote %d cells to %s@." (List.length cells) out

@@ -18,9 +18,34 @@ let trace_for ?(scale = Workloads.Catalog.Default) ?(lambda = 0.05) ~workload
   let rng = Simkit.Rng.create (seed lxor 0x5bd1e995) in
   Workloads.Trace.with_poisson_births rng ~lambda trace
 
-let run_cell ?(config = Cbnet.Config.default) ?(scale = Workloads.Catalog.Default)
-    ?(seeds = 5) ?(lambda = 0.05) ?(base_seed = 1) ~workload ~algo () =
-  if seeds < 1 then invalid_arg "Experiment.run_cell: seeds must be >= 1";
+(* One (cell, seed) execution: generates its own trace from its own
+   Rng streams and touches no state outside its return value, so it
+   can run on any domain. *)
+let run_seed ~config ~scale ~lambda ~base_seed ~workload ~algo i =
+  let seed = base_seed + (1009 * i) in
+  let trace = trace_for ~scale ~lambda ~workload ~seed () in
+  Algo.run ~config algo trace
+
+(* Fan [n] independent tasks out across [pool] (in-caller, in index
+   order, when absent): result slot [i] is always [f i]. *)
+let collect ?pool n f =
+  match pool with
+  | Some p -> Simkit.Pool.map p n f
+  | None ->
+      if n <= 0 then [||]
+      else begin
+        let first = f 0 in
+        let results = Array.make n first in
+        for i = 1 to n - 1 do
+          results.(i) <- f i
+        done;
+        results
+      end
+
+(* Aggregation is a fold in fixed seed order over the collected
+   per-seed samples, so the parallel and sequential paths produce
+   bit-identical summaries (Welford accumulation is order-sensitive). *)
+let aggregate ~workload ~algo ~seeds per_seed =
   let routing = Simkit.Stats.create () in
   let rotations = Simkit.Stats.create () in
   let work = Simkit.Stats.create () in
@@ -28,18 +53,16 @@ let run_cell ?(config = Cbnet.Config.default) ?(scale = Workloads.Catalog.Defaul
   let throughput = Simkit.Stats.create () in
   let pauses = Simkit.Stats.create () in
   let bypasses = Simkit.Stats.create () in
-  for i = 0 to seeds - 1 do
-    let seed = base_seed + (1009 * i) in
-    let trace = trace_for ~scale ~lambda ~workload ~seed () in
-    let stats = Algo.run ~config algo trace in
-    Simkit.Stats.add routing (float_of_int stats.Cbnet.Run_stats.routing_cost);
-    Simkit.Stats.add rotations (float_of_int stats.Cbnet.Run_stats.rotations);
-    Simkit.Stats.add work stats.Cbnet.Run_stats.work;
-    Simkit.Stats.add makespan (float_of_int stats.Cbnet.Run_stats.makespan);
-    Simkit.Stats.add throughput stats.Cbnet.Run_stats.throughput;
-    Simkit.Stats.add pauses (float_of_int stats.Cbnet.Run_stats.pauses);
-    Simkit.Stats.add bypasses (float_of_int stats.Cbnet.Run_stats.bypasses)
-  done;
+  Array.iter
+    (fun (stats : Cbnet.Run_stats.t) ->
+      Simkit.Stats.add routing (float_of_int stats.Cbnet.Run_stats.routing_cost);
+      Simkit.Stats.add rotations (float_of_int stats.Cbnet.Run_stats.rotations);
+      Simkit.Stats.add work stats.Cbnet.Run_stats.work;
+      Simkit.Stats.add makespan (float_of_int stats.Cbnet.Run_stats.makespan);
+      Simkit.Stats.add throughput stats.Cbnet.Run_stats.throughput;
+      Simkit.Stats.add pauses (float_of_int stats.Cbnet.Run_stats.pauses);
+      Simkit.Stats.add bypasses (float_of_int stats.Cbnet.Run_stats.bypasses))
+    per_seed;
   {
     algo;
     workload;
@@ -53,10 +76,34 @@ let run_cell ?(config = Cbnet.Config.default) ?(scale = Workloads.Catalog.Defaul
     bypasses = Simkit.Stats.summary bypasses;
   }
 
-let run_matrix ?config ?scale ?seeds ?lambda ?base_seed ~workloads ~algos () =
-  List.concat_map
-    (fun workload ->
-      List.map
-        (fun algo -> run_cell ?config ?scale ?seeds ?lambda ?base_seed ~workload ~algo ())
-        algos)
-    workloads
+let run_cell ?pool ?(config = Cbnet.Config.default)
+    ?(scale = Workloads.Catalog.Default) ?(seeds = 5) ?(lambda = 0.05)
+    ?(base_seed = 1) ~workload ~algo () =
+  if seeds < 1 then invalid_arg "Experiment.run_cell: seeds must be >= 1";
+  let per_seed =
+    collect ?pool seeds (run_seed ~config ~scale ~lambda ~base_seed ~workload ~algo)
+  in
+  aggregate ~workload ~algo ~seeds per_seed
+
+let run_matrix ?pool ?(config = Cbnet.Config.default)
+    ?(scale = Workloads.Catalog.Default) ?(seeds = 5) ?(lambda = 0.05)
+    ?(base_seed = 1) ~workloads ~algos () =
+  if seeds < 1 then invalid_arg "Experiment.run_matrix: seeds must be >= 1";
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun workload -> List.map (fun algo -> (workload, algo)) algos)
+         workloads)
+  in
+  let n_cells = Array.length cells in
+  (* Flatten to (cell, seed) granularity: a full matrix exposes
+     n_cells * seeds independent tasks, which keeps every domain busy
+     even when a single cell has few seeds. *)
+  let per_task =
+    collect ?pool (n_cells * seeds) (fun k ->
+        let workload, algo = cells.(k / seeds) in
+        run_seed ~config ~scale ~lambda ~base_seed ~workload ~algo (k mod seeds))
+  in
+  List.init n_cells (fun ci ->
+      let workload, algo = cells.(ci) in
+      aggregate ~workload ~algo ~seeds (Array.sub per_task (ci * seeds) seeds))

@@ -1,6 +1,12 @@
 (** Multi-seed experiment execution: the (workload × algorithm) matrix
     behind Figures 3 and 4, with deterministic per-seed streams and
-    mean ± 95%-CI aggregation. *)
+    mean ± 95%-CI aggregation.
+
+    Both entry points optionally fan their per-seed executions out
+    across a {!Simkit.Pool}.  Each seed owns its Rng streams and each
+    task's raw samples land in a pre-sized result slot that is folded
+    in fixed seed order afterwards, so the parallel path is
+    bit-identical to the sequential one — only wall-clock changes. *)
 
 type measurement = {
   algo : Algo.t;
@@ -16,6 +22,7 @@ type measurement = {
 }
 
 val run_cell :
+  ?pool:Simkit.Pool.t ->
   ?config:Cbnet.Config.t ->
   ?scale:Workloads.Catalog.scale ->
   ?seeds:int ->
@@ -28,9 +35,11 @@ val run_cell :
 (** Generate the workload [seeds] times (default 5; the paper uses 30
     for full runs) with distinct seeds, stamp arrivals with the
     paper's Poisson process (default [lambda = 0.05]), execute, and
-    aggregate. *)
+    aggregate.  With [?pool] the seeds run concurrently; the
+    measurement is identical either way. *)
 
 val run_matrix :
+  ?pool:Simkit.Pool.t ->
   ?config:Cbnet.Config.t ->
   ?scale:Workloads.Catalog.scale ->
   ?seeds:int ->
@@ -40,7 +49,9 @@ val run_matrix :
   algos:Algo.t list ->
   unit ->
   measurement list
-(** {!run_cell} over the full matrix, workload-major. *)
+(** {!run_cell} over the full matrix, workload-major.  With [?pool]
+    the matrix is flattened to (cell × seed) tasks so every domain
+    stays busy even at small seed counts. *)
 
 val trace_for :
   ?scale:Workloads.Catalog.scale ->

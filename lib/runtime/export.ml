@@ -26,6 +26,50 @@ let measurements_csv cells path =
             c.Experiment.bypasses.Simkit.Stats.mean)
         cells)
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers must be finite; our metrics always are, but guard so a
+   pathological cell can never emit an unparseable file. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.6f" x else "null"
+
+let bench_json ~commit ~timestamp cells path =
+  with_out path (fun oc ->
+      Printf.fprintf oc "{\n  \"commit\": \"%s\",\n  \"timestamp\": \"%s\",\n"
+        (json_escape commit) (json_escape timestamp);
+      output_string oc "  \"cells\": [";
+      List.iteri
+        (fun i ((c : Experiment.measurement), wall_seconds) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n    {\"workload\": \"%s\", \"algo\": \"%s\", \"seeds\": %d, \
+             \"work\": %s, \"makespan\": %s, \"throughput\": %s, \
+             \"rotations\": %s, \"wall_seconds\": %s}"
+            (json_escape c.Experiment.workload)
+            (json_escape (Algo.name c.Experiment.algo))
+            c.Experiment.seeds
+            (json_float c.Experiment.work.Simkit.Stats.mean)
+            (json_float c.Experiment.makespan.Simkit.Stats.mean)
+            (json_float c.Experiment.throughput.Simkit.Stats.mean)
+            (json_float c.Experiment.rotations.Simkit.Stats.mean)
+            (json_float wall_seconds))
+        cells;
+      output_string oc "\n  ]\n}\n")
+
 let timeline_csv points path =
   with_out path (fun oc ->
       output_string oc

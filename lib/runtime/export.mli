@@ -6,6 +6,20 @@
 val measurements_csv : Experiment.measurement list -> string -> unit
 (** Header: workload,algo,seeds,metric columns (mean and ci95 each). *)
 
+val bench_json :
+  commit:string ->
+  timestamp:string ->
+  (Experiment.measurement * float) list ->
+  string ->
+  unit
+(** Machine-readable bench export for CI perf tracking
+    ([BENCH_*.json]): writes
+    [{commit, timestamp, cells: [{workload, algo, seeds, work,
+    makespan, throughput, rotations, wall_seconds}]}], one cell per
+    (workload, algorithm) with metric {e means} across seeds and the
+    measured wall-clock seconds of the cell run (the float paired with
+    each measurement).  Hand-rolled writer — no JSON dependency. *)
+
 val timeline_csv : Timeline.point list -> string -> unit
 
 val latencies_csv : float array -> string -> unit

@@ -3,10 +3,38 @@ type options = {
   seeds : int;
   lambda : float;
   base_seed : int;
+  jobs : int;
 }
 
 let default_options =
-  { scale = Workloads.Catalog.Default; seeds = 3; lambda = 0.05; base_seed = 1 }
+  {
+    scale = Workloads.Catalog.Default;
+    seeds = 3;
+    lambda = 0.05;
+    base_seed = 1;
+    jobs = 1;
+  }
+
+(* Share one domain pool across a figure's cells; [jobs <= 1] stays on
+   the plain sequential path (no domains spawned). *)
+let with_jobs options f =
+  if options.jobs <= 1 then f None
+  else Simkit.Pool.with_pool ~num_domains:options.jobs (fun p -> f (Some p))
+
+let rec chunk k = function
+  | [] -> []
+  | l ->
+      let rec take n l =
+        if n = 0 then ([], l)
+        else
+          match l with
+          | [] -> ([], [])
+          | x :: tl ->
+              let a, b = take (n - 1) tl in
+              (x :: a, b)
+      in
+      let a, b = take k l in
+      a :: chunk k b
 
 let mean_pm (s : Simkit.Stats.summary) =
   if s.Simkit.Stats.n < 2 then Report.float_cell s.Simkit.Stats.mean
@@ -58,13 +86,6 @@ let fig2 ?(options = default_options) fmt =
     "expected shape: projector/skewed low NT & high T; pfabric/bursty the \
      reverse; hpc low on both; datastructure/uniform high on both.@.@."
 
-let matrix_cells options algos workload =
-  List.map
-    (fun algo ->
-      Experiment.run_cell ~scale:options.scale ~seeds:options.seeds
-        ~lambda:options.lambda ~base_seed:options.base_seed ~workload ~algo ())
-    algos
-
 let render_fig3 fmt workload cells =
   begin
       let max_work =
@@ -96,9 +117,14 @@ let render_fig3 fmt workload cells =
   end
 
 let fig3 ?(options = default_options) fmt =
-  List.iter
-    (fun workload -> render_fig3 fmt workload (matrix_cells options Algo.all workload))
-    Workloads.Catalog.paper_six
+  with_jobs options (fun pool ->
+      let cells =
+        Experiment.run_matrix ?pool ~scale:options.scale ~seeds:options.seeds
+          ~lambda:options.lambda ~base_seed:options.base_seed
+          ~workloads:Workloads.Catalog.paper_six ~algos:Algo.all ()
+      in
+      List.iter2 (render_fig3 fmt) Workloads.Catalog.paper_six
+        (chunk (List.length Algo.all) cells))
 
 let render_fig4 fmt workload cells =
   begin
@@ -122,10 +148,14 @@ let render_fig4 fmt workload cells =
   end
 
 let fig4 ?(options = default_options) fmt =
-  List.iter
-    (fun workload ->
-      render_fig4 fmt workload (matrix_cells options Algo.dynamic workload))
-    Workloads.Catalog.paper_six
+  with_jobs options (fun pool ->
+      let cells =
+        Experiment.run_matrix ?pool ~scale:options.scale ~seeds:options.seeds
+          ~lambda:options.lambda ~base_seed:options.base_seed
+          ~workloads:Workloads.Catalog.paper_six ~algos:Algo.dynamic ()
+      in
+      List.iter2 (render_fig4 fmt) Workloads.Catalog.paper_six
+        (chunk (List.length Algo.dynamic) cells))
 
 let thm1 ?(options = default_options) fmt =
   let n = 256 and m = 20_000 in
@@ -194,6 +224,7 @@ let thm2 ?(options = default_options) fmt =
      (Theorem 2: O(n log(m/n)) rotations).@.@."
 
 let ablation_delta ?(options = default_options) fmt =
+  with_jobs options @@ fun pool ->
   List.iter
     (fun workload ->
       let rows =
@@ -201,7 +232,7 @@ let ablation_delta ?(options = default_options) fmt =
           (fun delta ->
             let config = Cbnet.Config.make ~delta () in
             let c =
-              Experiment.run_cell ~config ~scale:options.scale
+              Experiment.run_cell ?pool ~config ~scale:options.scale
                 ~seeds:options.seeds ~lambda:options.lambda
                 ~base_seed:options.base_seed ~workload ~algo:Algo.CBN ()
             in
@@ -312,15 +343,16 @@ let ablation_rcost ?(options = default_options) fmt =
      executions under growing R. *)
   let workload = "skewed" in
   let base =
-    List.map
-      (fun algo ->
-        let c =
-          Experiment.run_cell ~scale:options.scale ~seeds:options.seeds
-            ~lambda:options.lambda ~base_seed:options.base_seed ~workload ~algo ()
-        in
-        (algo, c.Experiment.routing.Simkit.Stats.mean,
-         c.Experiment.rotations.Simkit.Stats.mean))
-      [ Algo.SN; Algo.DSN; Algo.SCBN; Algo.CBN ]
+    with_jobs options (fun pool ->
+        Experiment.run_matrix ?pool ~scale:options.scale ~seeds:options.seeds
+          ~lambda:options.lambda ~base_seed:options.base_seed
+          ~workloads:[ workload ]
+          ~algos:[ Algo.SN; Algo.DSN; Algo.SCBN; Algo.CBN ]
+          ())
+    |> List.map (fun c ->
+           ( c.Experiment.algo,
+             c.Experiment.routing.Simkit.Stats.mean,
+             c.Experiment.rotations.Simkit.Stats.mean ))
   in
   let rows =
     List.map
@@ -437,13 +469,21 @@ let all ?(options = default_options) fmt =
   fig2 ~options fmt;
   (* Compute the (workload x algorithm) matrix once and render both
      work-cost and time-cost views from it. *)
-  List.iter
-    (fun workload ->
-      let cells = matrix_cells options Algo.all workload in
-      render_fig3 fmt workload cells;
-      render_fig4 fmt workload
-        (List.filter (fun c -> List.mem c.Experiment.algo Algo.dynamic) cells))
-    Workloads.Catalog.paper_six;
+  with_jobs options (fun pool ->
+      let cells =
+        Experiment.run_matrix ?pool ~scale:options.scale ~seeds:options.seeds
+          ~lambda:options.lambda ~base_seed:options.base_seed
+          ~workloads:Workloads.Catalog.paper_six ~algos:Algo.all ()
+      in
+      List.iter2
+        (fun workload cells ->
+          render_fig3 fmt workload cells;
+          render_fig4 fmt workload
+            (List.filter
+               (fun c -> List.mem c.Experiment.algo Algo.dynamic)
+               cells))
+        Workloads.Catalog.paper_six
+        (chunk (List.length Algo.all) cells));
   thm1 ~options fmt;
   thm2 ~options fmt;
   ablation_delta ~options fmt;

@@ -8,10 +8,15 @@ type options = {
   seeds : int;
   lambda : float;
   base_seed : int;
+  jobs : int;
+      (** Worker domains for the matrix figures; [1] (the default)
+          runs fully sequentially in the calling domain.  Results are
+          bit-identical at every setting (see {!Experiment}). *)
 }
 
 val default_options : options
-(** [Default] scale, 5 seeds (paper: 30), λ = 0.05, base seed 1. *)
+(** [Default] scale, 3 seeds (paper: 30), λ = 0.05, base seed 1,
+    1 job. *)
 
 val fig2 : ?options:options -> Format.formatter -> unit
 (** Fig. 2 — trace map: temporal / non-temporal complexity and Ψ of

@@ -1,0 +1,133 @@
+type t = {
+  size : int;  (* worker domains; 0 = run in the caller *)
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_num_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let default_jobs () =
+  match Sys.getenv_opt "CBNET_JOBS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some j when j >= 1 -> j
+      | _ -> default_num_domains ())
+  | None -> default_num_domains ()
+
+let worker t () =
+  let rec next_task () =
+    (* mutex held *)
+    if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+    else if t.closed then None
+    else begin
+      Condition.wait t.has_work t.mutex;
+      next_task ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let task = next_task () in
+    Mutex.unlock t.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+        (* Tasks are wrapped by [map] and never raise; the catch-all
+           keeps a stray exception from killing the worker anyway. *)
+        (try task () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ?num_domains () =
+  let requested =
+    match num_domains with Some n -> n | None -> default_num_domains ()
+  in
+  let size = if requested <= 1 then 0 else requested in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init size (fun _ -> Domain.spawn (worker t));
+  t
+
+let num_domains t = Stdlib.max 1 t.size
+
+let submit_batch t tasks =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  List.iter (fun task -> Queue.push task t.queue) tasks;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex
+
+let map t n f =
+  if n <= 0 then [||]
+  else if t.size = 0 then begin
+    (* In-caller execution, in index order: the sequential path. *)
+    let first = f 0 in
+    let results = Array.make n first in
+    for i = 1 to n - 1 do
+      results.(i) <- f i
+    done;
+    results
+  end
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let remaining = ref n in
+    let batch_mutex = Mutex.create () in
+    let batch_done = Condition.create () in
+    let task i () =
+      (match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      Mutex.lock batch_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.signal batch_done;
+      Mutex.unlock batch_mutex
+    in
+    submit_batch t (List.init n (fun i -> task i));
+    Mutex.lock batch_mutex;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_mutex
+    done;
+    Mutex.unlock batch_mutex;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors;
+    Array.map
+      (function
+        | Some v -> v | None -> assert false (* every slot filled or raised *))
+      results
+  end
+
+let run t thunks =
+  let arr = Array.of_list thunks in
+  map t (Array.length arr) (fun i -> arr.(i) ()) |> Array.to_list
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  if not was_closed then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?num_domains f =
+  let t = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,57 @@
+(** A fixed-size pool of worker domains with a shared work queue.
+
+    The pool exists to fan independent experiment tasks (seeds, matrix
+    cells) out across cores.  Tasks are indexed; {!map} collects each
+    task's result into a pre-sized array slot, so callers that
+    aggregate in index order observe results that are bit-identical to
+    a sequential run — parallelism never reorders observable state.
+
+    With [num_domains <= 1] no domains are spawned and every task runs
+    in the calling domain, in index order: the pool degrades to a
+    plain loop, which keeps single-core CI and debugging runs on the
+    exact sequential code path.
+
+    Tasks must be independent: they must not submit work to the pool
+    they run on (the caller blocks until its batch drains, so nested
+    submission can deadlock) and must not share mutable state unless
+    that state is synchronised elsewhere. *)
+
+type t
+
+val default_num_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one core left for the
+    submitting domain), never below 1. *)
+
+val default_jobs : unit -> int
+(** Parallelism requested by the environment: [CBNET_JOBS] when set to
+    a positive integer, {!default_num_domains} otherwise. *)
+
+val create : ?num_domains:int -> unit -> t
+(** Spawn a pool of [num_domains] workers (default
+    {!default_num_domains}).  [num_domains <= 1] spawns nothing and
+    runs all work in the caller. *)
+
+val num_domains : t -> int
+(** Worker count of [t]; 1 for an in-caller (sequential) pool. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map t n f] computes [[| f 0; ...; f (n - 1) |]], distributing the
+    [n] calls across the pool's workers and blocking until all have
+    finished.  Result slot [i] always holds [f i].
+
+    If one or more tasks raise, the exception of the {e
+    lowest-indexed} failing task is re-raised in the caller (with its
+    backtrace) after the batch completes — the same exception a
+    sequential left-to-right loop would surface, independent of
+    scheduling. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** {!map} over a list of thunks, preserving list order. *)
+
+val shutdown : t -> unit
+(** Close the queue and join all workers.  Idempotent.  Outstanding
+    {!map} batches finish first; subsequent {!map} calls raise
+    [Invalid_argument]. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [create], run, and always [shutdown] (also on exceptions). *)

@@ -1,4 +1,4 @@
-type scale = Default | Full
+type scale = Smoke | Default | Full
 
 type entry = {
   key : string;
@@ -13,13 +13,21 @@ let all =
       key = "projector";
       description = "ProjecToR-like: skewed fixed matrix, i.i.d. (n=128)";
       n = 128;
-      generate = (fun _scale ~seed -> Projector.generate ~seed ());
+      generate =
+        (fun scale ~seed ->
+          match scale with
+          | Smoke -> Projector.generate ~n:32 ~m:2_000 ~support:300 ~seed ()
+          | Default | Full -> Projector.generate ~seed ());
     };
     {
       key = "skewed";
       description = "Zipf pairs, i.i.d. (n=1024)";
       n = 1024;
-      generate = (fun _scale ~seed -> Skewed.generate ~seed ());
+      generate =
+        (fun scale ~seed ->
+          match scale with
+          | Smoke -> Skewed.generate ~n:64 ~m:2_000 ~support:256 ~seed ()
+          | Default | Full -> Skewed.generate ~seed ());
     };
     {
       key = "pfabric";
@@ -27,14 +35,20 @@ let all =
       n = 144;
       generate =
         (fun scale ~seed ->
-          let m = match scale with Default -> 50_000 | Full -> 1_000_000 in
-          Pfabric.generate ~m ~seed ());
+          match scale with
+          | Smoke -> Pfabric.generate ~n:36 ~m:2_000 ~seed ()
+          | Default -> Pfabric.generate ~m:50_000 ~seed ()
+          | Full -> Pfabric.generate ~m:1_000_000 ~seed ());
     };
     {
       key = "bursty";
       description = "geometric repeat bursts, uniform pairs (n=1024)";
       n = 1024;
-      generate = (fun _scale ~seed -> Bursty.generate ~seed ());
+      generate =
+        (fun scale ~seed ->
+          match scale with
+          | Smoke -> Bursty.generate ~n:64 ~m:2_000 ~seed ()
+          | Default | Full -> Bursty.generate ~seed ());
     };
     {
       key = "hpc";
@@ -42,20 +56,30 @@ let all =
       n = 1024;
       generate =
         (fun scale ~seed ->
-          let m = match scale with Default -> 50_000 | Full -> 1_000_000 in
-          Hpc.generate ~m ~seed ());
+          match scale with
+          | Smoke -> Hpc.generate ~side:8 ~m:2_000 ~seed ()
+          | Default -> Hpc.generate ~m:50_000 ~seed ()
+          | Full -> Hpc.generate ~m:1_000_000 ~seed ());
     };
     {
       key = "datastructure";
       description = "root destination, normal sources (n=128)";
       n = 128;
-      generate = (fun _scale ~seed -> Datastructure.generate ~seed ());
+      generate =
+        (fun scale ~seed ->
+          match scale with
+          | Smoke -> Datastructure.generate ~n:32 ~m:2_000 ~seed ()
+          | Default | Full -> Datastructure.generate ~seed ());
     };
     {
       key = "uniform";
       description = "uniform i.i.d. reference (n=128)";
       n = 128;
-      generate = (fun _scale ~seed -> Uniform.generate ~seed ());
+      generate =
+        (fun scale ~seed ->
+          match scale with
+          | Smoke -> Uniform.generate ~n:32 ~m:2_000 ~seed ()
+          | Default | Full -> Uniform.generate ~seed ());
     };
   ]
 

@@ -1,9 +1,11 @@
 (** The named workload catalog used by the experiment harness: the six
     families of the paper's evaluation plus the uniform reference,
-    each at the paper's size ("full") or a scaled-down default that
-    keeps every figure reproducible in minutes. *)
+    each at the paper's size ("full"), a scaled-down default that
+    keeps every figure reproducible in minutes, or a tiny smoke-test
+    size that keeps the full matrix under a few seconds (CI and the
+    [bench-smoke] harness mode). *)
 
-type scale = Default | Full
+type scale = Smoke | Default | Full
 
 type entry = {
   key : string;  (** e.g. "projector" *)
