@@ -12,10 +12,15 @@
                                                   export for CI perf tracking
      dune exec bench/main.exe -- bench-smoke --json F
                                                -- tiny-scale smoke matrix
+     dune exec bench/main.exe -- --mode bench-smoke --trace t.json --metrics m.prom
+                                               -- same, plus a Perfetto trace
+                                                  and a Prometheus metrics dump
 
    Each FIG* table regenerates the rows/series of the corresponding
-   figure of the paper; micro runs Bechamel on the core operations.
-   Exit status: 0 on success, 2 on a bad flag or artifact name. *)
+   figure of the paper; micro runs Bechamel on the core operations;
+   overhead-check verifies the null telemetry sink costs nothing.
+   Exit status: 0 on success, 1 on a failed overhead check, 2 on a bad
+   flag or artifact name. *)
 
 let micro fmt =
   let open Bechamel in
@@ -94,7 +99,7 @@ let micro fmt =
 (* Run the full (workload x algorithm) matrix cell by cell, timing
    each cell's wall clock.  Seeds fan out across the pool inside each
    cell; the measurements are bit-identical to a sequential run. *)
-let timed_matrix (options : Runtime.Figures.options) =
+let timed_matrix ?(sink = Obskit.Sink.null) (options : Runtime.Figures.options) =
   let run pool =
     List.concat_map
       (fun workload ->
@@ -105,16 +110,21 @@ let timed_matrix (options : Runtime.Figures.options) =
               Runtime.Experiment.run_cell ?pool ~scale:options.Runtime.Figures.scale
                 ~seeds:options.Runtime.Figures.seeds
                 ~lambda:options.Runtime.Figures.lambda
-                ~base_seed:options.Runtime.Figures.base_seed ~workload ~algo ()
+                ~base_seed:options.Runtime.Figures.base_seed ~sink ~workload
+                ~algo ()
             in
             (c, Unix.gettimeofday () -. t0))
           Runtime.Algo.all)
       Workloads.Catalog.paper_six
   in
-  if options.Runtime.Figures.jobs <= 1 then run None
+  (* Traced runs always go through a pool (in-caller when jobs <= 1)
+     so the trace carries the Pool_task lifecycle even on one core;
+     results are bit-identical either way. *)
+  if options.Runtime.Figures.jobs <= 1 && not (Obskit.Sink.enabled sink) then
+    run None
   else
-    Simkit.Pool.with_pool ~num_domains:options.Runtime.Figures.jobs (fun p ->
-        run (Some p))
+    Simkit.Pool.with_pool ~num_domains:options.Runtime.Figures.jobs ~sink
+      (fun p -> run (Some p))
 
 let detect_commit () =
   let non_empty = function Some s when String.trim s <> "" -> Some s | _ -> None in
@@ -138,8 +148,8 @@ let iso8601_now () =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
-let export_json options path =
-  let cells = timed_matrix options in
+let export_json ?sink options path =
+  let cells = timed_matrix ?sink options in
   Runtime.Export.bench_json ~commit:(detect_commit ())
     ~timestamp:(iso8601_now ()) cells path;
   List.iter
@@ -152,34 +162,89 @@ let export_json options path =
     cells;
   Format.printf "wrote %d cells to %s@." (List.length cells) path
 
-let export_csv dir (options : Runtime.Figures.options) =
+let export_csv ?(sink = Obskit.Sink.null) dir
+    (options : Runtime.Figures.options) =
   let pool_scope f =
     if options.Runtime.Figures.jobs <= 1 then f None
     else
-      Simkit.Pool.with_pool ~num_domains:options.Runtime.Figures.jobs (fun p ->
-          f (Some p))
+      Simkit.Pool.with_pool ~num_domains:options.Runtime.Figures.jobs ~sink
+        (fun p -> f (Some p))
   in
   let cells =
     pool_scope (fun pool ->
         Runtime.Experiment.run_matrix ?pool ~scale:options.Runtime.Figures.scale
           ~seeds:options.Runtime.Figures.seeds
           ~lambda:options.Runtime.Figures.lambda
-          ~base_seed:options.Runtime.Figures.base_seed
+          ~base_seed:options.Runtime.Figures.base_seed ~sink
           ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ())
   in
   let path = Filename.concat dir "measurements.csv" in
   Runtime.Export.measurements_csv cells path;
   Format.printf "wrote %d cells to %s@." (List.length cells) path
 
+(* Telemetry overhead guard for CI.  Three interleaved min-of-N pairs:
+   the matrix with no sink argument (the default) vs. the matrix with
+   an explicit null sink — both must hit the same compiled-out path, so
+   any systematic gap means an instrumentation site stopped guarding
+   with [Sink.enabled].  A ring-sink run is also timed (reported, not
+   gated) and all three must produce bit-identical measurements. *)
+let overhead_check options =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let cells = f () in
+    (Unix.gettimeofday () -. t0, List.map fst cells)
+  in
+  let base_wall = ref infinity and base_cells = ref [] in
+  let null_wall = ref infinity and null_cells = ref [] in
+  for _ = 1 to 3 do
+    let w, c = time (fun () -> timed_matrix options) in
+    if w < !base_wall then base_wall := w;
+    base_cells := c;
+    let w, c = time (fun () -> timed_matrix ~sink:Obskit.Sink.null options) in
+    if w < !null_wall then null_wall := w;
+    null_cells := c
+  done;
+  let ring = Obskit.Sink.Ring.create ~capacity:1_000_000 in
+  let ring_wall, ring_cells =
+    time (fun () -> timed_matrix ~sink:(Obskit.Sink.Ring.sink ring) options)
+  in
+  Format.printf "== OVERHEAD-CHECK: null telemetry sink (smoke matrix) ==@.";
+  Format.printf "untraced   min wall = %.3fs@." !base_wall;
+  Format.printf "null sink  min wall = %.3fs (%+.1f%%)@." !null_wall
+    (100.0 *. ((!null_wall /. !base_wall) -. 1.0));
+  Format.printf "ring sink      wall = %.3fs (%+.1f%%, %d events)@." ring_wall
+    (100.0 *. ((ring_wall /. !base_wall) -. 1.0))
+    (Obskit.Sink.Ring.length ring);
+  let ok = ref true in
+  if not (!base_cells = !null_cells && !base_cells = ring_cells) then begin
+    ok := false;
+    prerr_endline
+      "overhead-check: FAIL: traced measurements differ from untraced \
+       (telemetry must be purely observational)"
+  end
+  else Format.printf "measurements: bit-identical across all sinks@.";
+  (* 2% relative plus 50ms absolute slack so sub-second smoke runs do
+     not fail on scheduler noise. *)
+  if !null_wall > (!base_wall *. 1.02) +. 0.05 then begin
+    ok := false;
+    Printf.eprintf
+      "overhead-check: FAIL: null-sink wall %.3fs exceeds untraced %.3fs + 2%%\n"
+      !null_wall !base_wall
+  end
+  else Format.printf "null-sink overhead: within 2%% budget@.";
+  if not !ok then exit 1
+
 let usage =
   "usage: main.exe [--full] [--seeds N] [--jobs N] [--csv DIR] [--json FILE] \
-   [ARTIFACT ...]\n\
+   [--trace FILE] [--metrics FILE] [--mode ARTIFACT] [ARTIFACT ...]\n\
    artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
-   micro bench-smoke\n\
+   micro bench-smoke overhead-check\n\
    (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
-  \ best combined with --json)\n\
+  \ best combined with --json; --mode NAME is an alias for naming NAME)\n\
    --jobs N parallelizes seed runs over N domains (default: CBNET_JOBS, else\n\
-  \ cores - 1); results are bit-identical at every setting."
+  \ cores - 1); results are bit-identical at every setting.\n\
+   --trace FILE writes a Chrome/Perfetto trace of the matrix runs\n\
+  \ (bench-smoke, --json, --csv); --metrics FILE writes Prometheus text."
 
 let die fmt =
   Format.kasprintf
@@ -195,6 +260,8 @@ let () =
   let jobs = ref None in
   let csv = ref None in
   let json = ref None in
+  let trace = ref None in
+  let metrics = ref None in
   let names = ref [] in
   let int_value flag v =
     match int_of_string_opt v with
@@ -206,7 +273,8 @@ let () =
     | "--full" :: rest ->
         full := true;
         parse rest
-    | [ "--seeds" ] | [ "--jobs" ] | [ "--csv" ] | [ "--json" ] ->
+    | [ "--seeds" ] | [ "--jobs" ] | [ "--csv" ] | [ "--json" ] | [ "--trace" ]
+    | [ "--metrics" ] | [ "--mode" ] ->
         die "missing value for trailing option"
     | "--seeds" :: v :: rest ->
         seeds := Some (int_value "--seeds" v);
@@ -219,6 +287,15 @@ let () =
         parse rest
     | "--json" :: file :: rest ->
         json := Some file;
+        parse rest
+    | "--trace" :: file :: rest ->
+        trace := Some file;
+        parse rest
+    | "--metrics" :: file :: rest ->
+        metrics := Some file;
+        parse rest
+    | "--mode" :: name :: rest ->
+        names := name :: !names;
         parse rest
     | arg :: _ when String.length arg >= 2 && String.sub arg 0 2 = "--" ->
         die "unknown option %s" arg
@@ -246,6 +323,26 @@ let () =
     }
   in
   let fmt = Format.std_formatter in
+  (* Telemetry sinks requested on the command line: a bounded ring for
+     the Perfetto trace and a metrics registry for Prometheus.  The tee
+     collapses to the null sink when neither flag is given, so the
+     default run stays on the zero-cost path. *)
+  let ring =
+    match !trace with
+    | Some _ -> Some (Obskit.Sink.Ring.create ~capacity:1_000_000)
+    | None -> None
+  in
+  let registry =
+    match !metrics with Some _ -> Some (Simkit.Metrics.create ()) | None -> None
+  in
+  let sink =
+    Obskit.Sink.tee
+      ((match ring with Some r -> [ Obskit.Sink.Ring.sink r ] | None -> [])
+      @
+      match registry with
+      | Some reg -> [ Runtime.Telemetry.metrics_sink reg ]
+      | None -> [])
+  in
   let artifacts =
     [
       ("fig2", fun () -> Runtime.Figures.fig2 ~options fmt);
@@ -270,7 +367,7 @@ let () =
             smoke_options.Runtime.Figures.seeds
             smoke_options.Runtime.Figures.jobs;
           match !json with
-          | Some path -> export_json smoke_options path
+          | Some path -> export_json ~sink smoke_options path
           | None ->
               List.iter
                 (fun ((c : Runtime.Experiment.measurement), wall) ->
@@ -280,7 +377,8 @@ let () =
                     (Runtime.Algo.name c.Runtime.Experiment.algo)
                     c.Runtime.Experiment.work.Simkit.Stats.mean
                     c.Runtime.Experiment.makespan.Simkit.Stats.mean wall)
-                (timed_matrix smoke_options) );
+                (timed_matrix ~sink smoke_options) );
+      ("overhead-check", fun () -> overhead_check smoke_options);
     ]
   in
   (* Validate every artifact name before running anything: CI must
@@ -291,17 +389,32 @@ let () =
         die "unknown artifact %S (known: %s)" name
           (String.concat ", " (List.map fst artifacts)))
     names;
-  (match !csv with Some dir -> export_csv dir options | None -> ());
+  (match !csv with Some dir -> export_csv ~sink dir options | None -> ());
   (match !json with
   | Some path when not (List.mem "bench-smoke" names) ->
       (* bench-smoke writes the JSON itself, at smoke scale. *)
-      export_json options path
+      export_json ~sink options path
   | _ -> ());
-  match names with
+  (match names with
   | [] ->
       if !csv = None && !json = None then begin
         (* Everything: figures share one matrix computation. *)
         Runtime.Figures.all ~options fmt;
         micro fmt
       end
-  | names -> List.iter (fun name -> (List.assoc name artifacts) ()) names
+  | names -> List.iter (fun name -> (List.assoc name artifacts) ()) names);
+  (match (!trace, ring) with
+  | Some path, Some r ->
+      Runtime.Export.chrome_trace (Obskit.Sink.Ring.contents r) path;
+      let dropped = Obskit.Sink.Ring.dropped r in
+      Format.printf "wrote %d trace events to %s%s@."
+        (Obskit.Sink.Ring.length r)
+        path
+        (if dropped > 0 then Printf.sprintf " (%d oldest dropped)" dropped
+         else "")
+  | _ -> ());
+  match (!metrics, registry) with
+  | Some path, Some reg ->
+      Runtime.Export.prometheus reg path;
+      Format.printf "wrote metrics to %s@." path
+  | _ -> ()

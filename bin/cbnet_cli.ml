@@ -63,19 +63,73 @@ let algo_arg =
     & opt (some (enum algos)) None
     & info [ "algo"; "a" ] ~doc:"Algorithm: BT, OPT, SN, DSN, SCBN or CBN.")
 
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+           Perfetto or chrome://tracing).")
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write run metrics to $(docv) in the Prometheus text exposition \
+           format.")
+
 let run_cmd =
   let doc = "Run one algorithm on one workload and print its statistics." in
-  let run workload algo options =
+  let run workload algo trace_file metrics_file options =
     let trace =
       Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
         ~lambda:options.Runtime.Figures.lambda ~workload
         ~seed:options.Runtime.Figures.base_seed ()
     in
     Format.printf "%a@." Workloads.Trace.pp_summary trace;
-    let stats = Runtime.Algo.run algo trace in
-    Format.printf "%s: %a@." (Runtime.Algo.name algo) Cbnet.Run_stats.pp stats
+    let ring =
+      match trace_file with
+      | Some _ -> Some (Obskit.Sink.Ring.create ~capacity:1_000_000)
+      | None -> None
+    in
+    let registry =
+      match metrics_file with
+      | Some _ -> Some (Simkit.Metrics.create ())
+      | None -> None
+    in
+    let sink =
+      Obskit.Sink.tee
+        ((match ring with Some r -> [ Obskit.Sink.Ring.sink r ] | None -> [])
+        @
+        match registry with
+        | Some reg -> [ Runtime.Telemetry.metrics_sink reg ]
+        | None -> [])
+    in
+    let stats = Runtime.Algo.run ~sink algo trace in
+    Format.printf "%s: %a@." (Runtime.Algo.name algo) Cbnet.Run_stats.pp stats;
+    (match (trace_file, ring) with
+    | Some path, Some r ->
+        Runtime.Export.chrome_trace (Obskit.Sink.Ring.contents r) path;
+        let dropped = Obskit.Sink.Ring.dropped r in
+        Format.printf "wrote %d trace events to %s%s@."
+          (Obskit.Sink.Ring.length r)
+          path
+          (if dropped > 0 then Printf.sprintf " (%d oldest dropped)" dropped
+           else "")
+    | _ -> ());
+    match (metrics_file, registry) with
+    | Some path, Some reg ->
+        Runtime.Export.prometheus reg path;
+        Format.printf "wrote metrics to %s@." path
+    | _ -> ()
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ algo_arg $ options_term)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ workload_arg $ algo_arg $ trace_file_arg $ metrics_file_arg
+      $ options_term)
 
 let complexity_cmd =
   let doc = "Measure the trace complexity (T, NT, Psi) of a workload." in

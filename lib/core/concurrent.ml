@@ -6,6 +6,7 @@ type state = {
   t : T.t;
   trace : (int * int * int) array;
   window : int;  (* admission control: max data messages in flight *)
+  sink : Obskit.Sink.t;  (* telemetry; Sink.null compiles to no-ops *)
   mutable next_inject : int;  (* index into trace *)
   mutable next_id : int;
   mutable active : M.t list;  (* undelivered, kept priority-sorted *)
@@ -30,7 +31,7 @@ let validate t trace =
         invalid_arg "Concurrent.run: endpoint out of range")
     trace
 
-let create config ~window t trace =
+let create config ~window ~sink t trace =
   validate t trace;
   if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
   {
@@ -38,6 +39,7 @@ let create config ~window t trace =
     t;
     trace;
     window;
+    sink;
     next_inject = 0;
     next_id = 0;
     active = [];
@@ -59,7 +61,18 @@ let finish st (msg : M.t) ~round =
   msg.M.end_time <- round;
   st.finished <- msg :: st.finished;
   st.live <- st.live - 1;
-  if msg.M.kind = M.Data then st.live_data <- st.live_data - 1
+  if msg.M.kind = M.Data then st.live_data <- st.live_data - 1;
+  if Obskit.Sink.enabled st.sink then
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Msg_delivered
+          {
+            round;
+            msg = msg.M.id;
+            data = msg.M.kind = M.Data;
+            birth = msg.M.birth;
+            hops = msg.M.hops;
+            rotations = msg.M.rotations;
+          })
 
 (* The spawn callback shared by all protocol entry points: the update
    message becomes active in the next round.  It inherits its parent's
@@ -113,6 +126,11 @@ let claim st ~round plan =
     plan.Step.cluster
 
 let tick st round =
+  let traced = Obskit.Sink.enabled st.sink in
+  if traced then
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Round_begin
+          { round; active = st.live; live_data = st.live_data });
   (* Newly admitted data messages and updates spawned last round enter
      the priority list; both batches are small, so sorting them and
      merging into the already-sorted list keeps the round linear. *)
@@ -128,22 +146,66 @@ let tick st round =
         (match Protocol.begin_turn st.config st.t ~spawn msg with
         | Protocol.Delivered -> finish st msg ~round
         | Protocol.Plan plan -> (
+            if traced then
+              Obskit.Sink.record st.sink (fun () ->
+                  Obskit.Event.Step_planned
+                    {
+                      round;
+                      msg = msg.M.id;
+                      kind = Step.kind_to_string plan.Step.kind;
+                      rotate = plan.Step.rotate;
+                      delta_phi = plan.Step.delta_phi;
+                    });
             match cluster_conflict st ~round plan with
             | Some was_rotation ->
                 if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
-                else msg.M.pauses <- msg.M.pauses + 1
+                else msg.M.pauses <- msg.M.pauses + 1;
+                if traced then
+                  Obskit.Sink.record st.sink (fun () ->
+                      Obskit.Event.Conflict
+                        {
+                          round;
+                          msg = msg.M.id;
+                          kind =
+                            (if was_rotation then Obskit.Event.Bypass
+                             else Obskit.Event.Pause);
+                        })
             | None ->
                 claim st ~round plan;
+                if traced then
+                  Obskit.Sink.record st.sink (fun () ->
+                      Obskit.Event.Cluster_claimed
+                        {
+                          round;
+                          msg = msg.M.id;
+                          cluster = plan.Step.cluster;
+                          rotate = plan.Step.rotate;
+                        });
                 Protocol.apply_step st.t ~spawn msg plan;
+                if traced && plan.Step.rotate then
+                  Obskit.Sink.record st.sink (fun () ->
+                      Obskit.Event.Rotation
+                        {
+                          round;
+                          msg = msg.M.id;
+                          node = plan.Step.current;
+                          count = plan.Step.rotations;
+                          delta_phi = plan.Step.delta_phi;
+                        });
                 if msg.M.delivered then finish st msg ~round));
         if not msg.M.delivered then still_active := msg :: !still_active
       end)
     by_priority;
-  st.active <- List.rev !still_active
+  st.active <- List.rev !still_active;
+  (* Φ is O(n) to compute, so it is sampled only on traced runs. *)
+  if traced then
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Phi_sample { round; phi = Potential.phi st.t })
 
-let scheduler ?(config = Config.default) ?window t trace =
+let scheduler ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t
+    trace =
   let window = match window with Some w -> w | None -> max 64 (T.n t) in
-  let st = create config ~window t trace in
+  let st = create config ~window ~sink t trace in
   let sched =
     {
       Simkit.Engine.label = "cbn";
@@ -157,14 +219,15 @@ let scheduler ?(config = Config.default) ?window t trace =
   in
   (sched, finalize)
 
-let run ?(config = Config.default) ?window ?max_rounds t trace =
-  let sched, finalize = scheduler ~config ?window t trace in
+let run ?(config = Config.default) ?window ?max_rounds ?sink t trace =
+  let sched, finalize = scheduler ~config ?window ?sink t trace in
   let rounds = Simkit.Engine.run_exn ?max_rounds sched in
   finalize rounds
 
-let run_with_latencies ?(config = Config.default) ?window ?max_rounds t trace =
+let run_with_latencies ?(config = Config.default) ?window ?max_rounds
+    ?(sink = Obskit.Sink.null) t trace =
   let window = match window with Some w -> w | None -> max 64 (T.n t) in
-  let st = create config ~window t trace in
+  let st = create config ~window ~sink t trace in
   let sched =
     {
       Simkit.Engine.label = "cbn";

@@ -18,6 +18,7 @@ val run :
   ?config:Config.t ->
   ?window:int ->
   ?max_rounds:int ->
+  ?sink:Obskit.Sink.t ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Run_stats.t
@@ -32,6 +33,13 @@ val run :
     makespan).  This bounds the per-round simulation cost under
     saturation without affecting which steps conflict.
 
+    [sink] (default {!Obskit.Sink.null}) receives per-round structured
+    events: [Round_begin], [Step_planned], [Cluster_claimed],
+    [Conflict], [Rotation], [Msg_delivered] and one [Phi_sample] per
+    round.  Telemetry is purely observational — a traced run computes
+    the exact same {!Run_stats.t} as an untraced one, bit for bit —
+    and with the null sink every emission site is a single branch.
+
     @raise Invalid_argument on an unsorted trace or bad endpoints.
     @raise Simkit.Engine.Budget_exhausted if rounds exceed [max_rounds]
     (a liveness failure, not a legitimate outcome). *)
@@ -40,6 +48,7 @@ val run_with_latencies :
   ?config:Config.t ->
   ?window:int ->
   ?max_rounds:int ->
+  ?sink:Obskit.Sink.t ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Run_stats.t * float array
@@ -50,6 +59,7 @@ val run_with_latencies :
 val scheduler :
   ?config:Config.t ->
   ?window:int ->
+  ?sink:Obskit.Sink.t ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Simkit.Engine.scheduler * (int -> Run_stats.t)

@@ -25,3 +25,7 @@ val of_messages :
     update messages contribute hops and rotations only. *)
 
 val pp : Format.formatter -> t -> unit
+(** One-line [key=value] rendering.  Every field is printed even when
+    zero — in particular [pauses], [bypasses] and [rounds], which are
+    always 0 for sequential executions — so sequential and concurrent
+    runs produce the same columns and line up in logs and diffs. *)

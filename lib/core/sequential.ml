@@ -17,7 +17,10 @@ let validate t trace =
    trips on a genuine progress bug. *)
 let step_budget t = (8 * T.n t) + 64
 
-let drive config t ~spawn msg =
+(* [round] is the sequential clock value at which the message started
+   being served; per-step events reuse it as their logical time. *)
+let drive ~sink ~round config t ~spawn msg =
+  let traced = Obskit.Sink.enabled sink in
   let budget = ref (step_budget t) in
   while not msg.M.delivered do
     decr budget;
@@ -25,11 +28,45 @@ let drive config t ~spawn msg =
     match Protocol.begin_turn config t ~spawn msg with
     | Protocol.Delivered -> msg.M.delivered <- true
     | Protocol.Plan plan ->
-        Protocol.apply_step t ~spawn msg plan
+        if traced then
+          Obskit.Sink.record sink (fun () ->
+              Obskit.Event.Step_planned
+                {
+                  round;
+                  msg = msg.M.id;
+                  kind = Step.kind_to_string plan.Step.kind;
+                  rotate = plan.Step.rotate;
+                  delta_phi = plan.Step.delta_phi;
+                });
+        Protocol.apply_step t ~spawn msg plan;
+        if traced && plan.Step.rotate then
+          Obskit.Sink.record sink (fun () ->
+              Obskit.Event.Rotation
+                {
+                  round;
+                  msg = msg.M.id;
+                  node = plan.Step.current;
+                  count = plan.Step.rotations;
+                  delta_phi = plan.Step.delta_phi;
+                })
   done
 
-let run ?(config = Config.default) t trace =
+let run ?(config = Config.default) ?(sink = Obskit.Sink.null) t trace =
   validate t trace;
+  let traced = Obskit.Sink.enabled sink in
+  let delivered_event (msg : M.t) =
+    if traced then
+      Obskit.Sink.record sink (fun () ->
+          Obskit.Event.Msg_delivered
+            {
+              round = msg.M.end_time;
+              msg = msg.M.id;
+              data = msg.M.kind = M.Data;
+              birth = msg.M.birth;
+              hops = msg.M.hops;
+              rotations = msg.M.rotations;
+            })
+  in
   let next_id = ref 0 in
   let fresh_id () =
     let id = !next_id in
@@ -50,16 +87,23 @@ let run ?(config = Config.default) t trace =
       in
       clock := max !clock birth;
       Protocol.born t ~spawn msg;
-      if not msg.M.delivered then drive config t ~spawn msg;
+      if not msg.M.delivered then drive ~sink ~round:!clock config t ~spawn msg;
       clock := !clock + max 1 msg.M.steps;
       msg.M.end_time <- !clock;
+      delivered_event msg;
       (match !pending_update with
       | Some u ->
-          drive config t ~spawn u;
+          drive ~sink ~round:!clock config t ~spawn u;
           clock := !clock + u.M.steps;
           u.M.end_time <- !clock;
+          delivered_event u;
           finished := u :: !finished
       | None -> ());
-      finished := msg :: !finished)
+      finished := msg :: !finished;
+      (* Φ is O(n); sample it once per served request on traced runs
+         so convergence curves can be reconstructed from the trace. *)
+      if traced then
+        Obskit.Sink.record sink (fun () ->
+            Obskit.Event.Phi_sample { round = !clock; phi = Potential.phi t }))
     trace;
   Run_stats.of_messages ~config ~rounds:!clock !finished

@@ -8,10 +8,17 @@
 
 val run :
   ?config:Config.t ->
+  ?sink:Obskit.Sink.t ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Run_stats.t
 (** [run t trace] executes the requests [(birth, src, dst)] — which
     must be sorted by birth time — on topology [t], mutating it.
+
+    [sink] (default {!Obskit.Sink.null}) receives [Step_planned],
+    [Rotation], [Msg_delivered] and one [Phi_sample] per served
+    request, timestamped with the sequential clock.  Telemetry never
+    changes the computed {!Run_stats.t}.
+
     @raise Invalid_argument on an unsorted trace or out-of-range
     endpoints. *)

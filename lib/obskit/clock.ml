@@ -1,0 +1,11 @@
+let last = Atomic.make 0.0
+
+(* Publish through a CAS loop so the returned value is never below a
+   value some other domain already returned: a failed CAS means the
+   published maximum moved, so re-read and try again. *)
+let rec now_us () =
+  let raw = Unix.gettimeofday () *. 1e6 in
+  let prev = Atomic.get last in
+  if raw <= prev then prev
+  else if Atomic.compare_and_set last prev raw then raw
+  else now_us ()

@@ -1,0 +1,12 @@
+(** Process-wide non-decreasing wall clock in microseconds.
+
+    OCaml's standard library exposes no monotonic clock, so this one is
+    built on [Unix.gettimeofday] and clamped to never run backwards
+    within the process: every call returns a value at least as large as
+    any value previously returned by any domain.  That is the property
+    trace viewers need (event order within a track), and the absolute
+    epoch (Unix time) keeps traces from separate runs comparable. *)
+
+val now_us : unit -> float
+(** Current time in microseconds since the Unix epoch, clamped
+    non-decreasing across all domains of this process. *)

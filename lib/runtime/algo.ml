@@ -24,7 +24,8 @@ let of_name s =
 let is_static = function BT | OPT -> true | _ -> false
 let is_concurrent = function DSN | CBN -> true | _ -> false
 
-let run ?(config = Cbnet.Config.default) ?window algo trace =
+let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
+    algo trace =
   let n = trace.Workloads.Trace.n in
   let runs = Workloads.Trace.to_runs trace in
   match algo with
@@ -32,5 +33,6 @@ let run ?(config = Cbnet.Config.default) ?window algo trace =
   | OPT -> Baselines.Static.run ~config (Baselines.Static.opt_tree ~n runs) runs
   | SN -> Baselines.Splaynet.run ~config (Bstnet.Build.balanced n) runs
   | DSN -> Baselines.Displaynet.run ~config (Bstnet.Build.balanced n) runs
-  | SCBN -> Cbnet.Sequential.run ~config (Bstnet.Build.balanced n) runs
-  | CBN -> Cbnet.Concurrent.run ~config ?window (Bstnet.Build.balanced n) runs
+  | SCBN -> Cbnet.Sequential.run ~config ~sink (Bstnet.Build.balanced n) runs
+  | CBN ->
+      Cbnet.Concurrent.run ~config ?window ~sink (Bstnet.Build.balanced n) runs

@@ -23,9 +23,14 @@ val is_concurrent : t -> bool
 val run :
   ?config:Cbnet.Config.t ->
   ?window:int ->
+  ?sink:Obskit.Sink.t ->
   t ->
   Workloads.Trace.t ->
   Cbnet.Run_stats.t
 (** Build the initial topology (balanced for all dynamic algorithms
     and BT; the DP tree for OPT), execute the trace, return the
-    statistics.  Each call starts from a fresh topology. *)
+    statistics.  Each call starts from a fresh topology.
+
+    [sink] (default null) forwards telemetry to the CBNet executions
+    ({!Cbnet.Sequential} for SCBN, {!Cbnet.Concurrent} for CBN); the
+    baseline algorithms are not instrumented and ignore it. *)

@@ -9,6 +9,7 @@ type measurement = {
   throughput : Simkit.Stats.summary;
   pauses : Simkit.Stats.summary;
   bypasses : Simkit.Stats.summary;
+  rounds : Simkit.Stats.summary;
 }
 
 let trace_for ?(scale = Workloads.Catalog.Default) ?(lambda = 0.05) ~workload
@@ -20,11 +21,20 @@ let trace_for ?(scale = Workloads.Catalog.Default) ?(lambda = 0.05) ~workload
 
 (* One (cell, seed) execution: generates its own trace from its own
    Rng streams and touches no state outside its return value, so it
-   can run on any domain. *)
-let run_seed ~config ~scale ~lambda ~base_seed ~workload ~algo i =
+   can run on any domain.  On traced runs the whole seed is wrapped in
+   a span, so the per-domain tracks of the trace show which seed ran
+   where and for how long. *)
+let run_seed ~sink ~config ~scale ~lambda ~base_seed ~workload ~algo i =
   let seed = base_seed + (1009 * i) in
-  let trace = trace_for ~scale ~lambda ~workload ~seed () in
-  Algo.run ~config algo trace
+  let body () =
+    let trace = trace_for ~scale ~lambda ~workload ~seed () in
+    Algo.run ~config ~sink algo trace
+  in
+  if Obskit.Sink.enabled sink then
+    Obskit.Sink.span sink
+      (Printf.sprintf "seed:%s/%s#%d" workload (Algo.name algo) i)
+      body
+  else body ()
 
 (* Fan [n] independent tasks out across [pool] (in-caller, in index
    order, when absent): result slot [i] is always [f i]. *)
@@ -47,6 +57,7 @@ let collect ?pool n f =
    bit-identical summaries (Welford accumulation is order-sensitive). *)
 let aggregate ~workload ~algo ~seeds per_seed =
   let routing = Simkit.Stats.create () in
+  let rounds = Simkit.Stats.create () in
   let rotations = Simkit.Stats.create () in
   let work = Simkit.Stats.create () in
   let makespan = Simkit.Stats.create () in
@@ -61,7 +72,8 @@ let aggregate ~workload ~algo ~seeds per_seed =
       Simkit.Stats.add makespan (float_of_int stats.Cbnet.Run_stats.makespan);
       Simkit.Stats.add throughput stats.Cbnet.Run_stats.throughput;
       Simkit.Stats.add pauses (float_of_int stats.Cbnet.Run_stats.pauses);
-      Simkit.Stats.add bypasses (float_of_int stats.Cbnet.Run_stats.bypasses))
+      Simkit.Stats.add bypasses (float_of_int stats.Cbnet.Run_stats.bypasses);
+      Simkit.Stats.add rounds (float_of_int stats.Cbnet.Run_stats.rounds))
     per_seed;
   {
     algo;
@@ -74,20 +86,29 @@ let aggregate ~workload ~algo ~seeds per_seed =
     throughput = Simkit.Stats.summary throughput;
     pauses = Simkit.Stats.summary pauses;
     bypasses = Simkit.Stats.summary bypasses;
+    rounds = Simkit.Stats.summary rounds;
   }
 
 let run_cell ?pool ?(config = Cbnet.Config.default)
     ?(scale = Workloads.Catalog.Default) ?(seeds = 5) ?(lambda = 0.05)
-    ?(base_seed = 1) ~workload ~algo () =
+    ?(base_seed = 1) ?(sink = Obskit.Sink.null) ~workload ~algo () =
   if seeds < 1 then invalid_arg "Experiment.run_cell: seeds must be >= 1";
-  let per_seed =
-    collect ?pool seeds (run_seed ~config ~scale ~lambda ~base_seed ~workload ~algo)
+  let cell () =
+    let per_seed =
+      collect ?pool seeds
+        (run_seed ~sink ~config ~scale ~lambda ~base_seed ~workload ~algo)
+    in
+    aggregate ~workload ~algo ~seeds per_seed
   in
-  aggregate ~workload ~algo ~seeds per_seed
+  if Obskit.Sink.enabled sink then
+    Obskit.Sink.span sink
+      (Printf.sprintf "cell:%s/%s" workload (Algo.name algo))
+      cell
+  else cell ()
 
 let run_matrix ?pool ?(config = Cbnet.Config.default)
     ?(scale = Workloads.Catalog.Default) ?(seeds = 5) ?(lambda = 0.05)
-    ?(base_seed = 1) ~workloads ~algos () =
+    ?(base_seed = 1) ?(sink = Obskit.Sink.null) ~workloads ~algos () =
   if seeds < 1 then invalid_arg "Experiment.run_matrix: seeds must be >= 1";
   let cells =
     Array.of_list
@@ -102,7 +123,8 @@ let run_matrix ?pool ?(config = Cbnet.Config.default)
   let per_task =
     collect ?pool (n_cells * seeds) (fun k ->
         let workload, algo = cells.(k / seeds) in
-        run_seed ~config ~scale ~lambda ~base_seed ~workload ~algo (k mod seeds))
+        run_seed ~sink ~config ~scale ~lambda ~base_seed ~workload ~algo
+          (k mod seeds))
   in
   List.init n_cells (fun ci ->
       let workload, algo = cells.(ci) in

@@ -19,6 +19,9 @@ type measurement = {
   throughput : Simkit.Stats.summary;
   pauses : Simkit.Stats.summary;
   bypasses : Simkit.Stats.summary;
+  rounds : Simkit.Stats.summary;
+      (** Rounds to quiescence ({!Cbnet.Run_stats.rounds}); for
+          sequential algorithms this is the serial clock. *)
 }
 
 val run_cell :
@@ -28,6 +31,7 @@ val run_cell :
   ?seeds:int ->
   ?lambda:float ->
   ?base_seed:int ->
+  ?sink:Obskit.Sink.t ->
   workload:string ->
   algo:Algo.t ->
   unit ->
@@ -36,7 +40,12 @@ val run_cell :
     for full runs) with distinct seeds, stamp arrivals with the
     paper's Poisson process (default [lambda = 0.05]), execute, and
     aggregate.  With [?pool] the seeds run concurrently; the
-    measurement is identical either way. *)
+    measurement is identical either way.
+
+    [sink] (default null) is forwarded to every per-seed execution
+    ({!Algo.run}) and additionally receives a [cell:<workload>/<algo>]
+    span around the cell and a [seed:...#i] span around each seed.
+    Traced measurements are bit-identical to untraced ones. *)
 
 val run_matrix :
   ?pool:Simkit.Pool.t ->
@@ -45,6 +54,7 @@ val run_matrix :
   ?seeds:int ->
   ?lambda:float ->
   ?base_seed:int ->
+  ?sink:Obskit.Sink.t ->
   workloads:string list ->
   algos:Algo.t list ->
   unit ->

@@ -11,10 +11,18 @@ let measurements_csv cells path =
       output_string oc
         "workload,algo,seeds,routing_mean,routing_ci95,rotations_mean,\
          rotations_ci95,work_mean,work_ci95,makespan_mean,makespan_ci95,\
-         throughput_mean,throughput_ci95,pauses_mean,bypasses_mean\n";
+         throughput_mean,throughput_ci95,pauses_mean,bypasses_mean,\
+         routing_p50,routing_p95,routing_p99,work_p50,work_p95,work_p99,\
+         makespan_p50,makespan_p95,makespan_p99,throughput_p50,\
+         throughput_p95,throughput_p99,rounds_mean\n";
       List.iter
         (fun (c : Experiment.measurement) ->
-          Printf.fprintf oc "%s,%s,%d,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f\n"
+          let pcts (s : Simkit.Stats.summary) =
+            Printf.sprintf "%f,%f,%f" s.Simkit.Stats.p50 s.Simkit.Stats.p95
+              s.Simkit.Stats.p99
+          in
+          Printf.fprintf oc
+            "%s,%s,%d,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%f,%s,%s,%s,%s,%f\n"
             c.Experiment.workload
             (Algo.name c.Experiment.algo)
             c.Experiment.seeds c.Experiment.routing.Simkit.Stats.mean
@@ -23,7 +31,10 @@ let measurements_csv cells path =
             (ci95 c.Experiment.work) c.Experiment.makespan.Simkit.Stats.mean
             (ci95 c.Experiment.makespan) c.Experiment.throughput.Simkit.Stats.mean
             (ci95 c.Experiment.throughput) c.Experiment.pauses.Simkit.Stats.mean
-            c.Experiment.bypasses.Simkit.Stats.mean)
+            c.Experiment.bypasses.Simkit.Stats.mean
+            (pcts c.Experiment.routing) (pcts c.Experiment.work)
+            (pcts c.Experiment.makespan) (pcts c.Experiment.throughput)
+            c.Experiment.rounds.Simkit.Stats.mean)
         cells)
 
 let json_escape s =
@@ -58,7 +69,8 @@ let bench_json ~commit ~timestamp cells path =
           Printf.fprintf oc
             "\n    {\"workload\": \"%s\", \"algo\": \"%s\", \"seeds\": %d, \
              \"work\": %s, \"makespan\": %s, \"throughput\": %s, \
-             \"rotations\": %s, \"wall_seconds\": %s}"
+             \"rotations\": %s, \"pauses\": %s, \"bypasses\": %s, \
+             \"rounds\": %s, \"wall_seconds\": %s}"
             (json_escape c.Experiment.workload)
             (json_escape (Algo.name c.Experiment.algo))
             c.Experiment.seeds
@@ -66,6 +78,9 @@ let bench_json ~commit ~timestamp cells path =
             (json_float c.Experiment.makespan.Simkit.Stats.mean)
             (json_float c.Experiment.throughput.Simkit.Stats.mean)
             (json_float c.Experiment.rotations.Simkit.Stats.mean)
+            (json_float c.Experiment.pauses.Simkit.Stats.mean)
+            (json_float c.Experiment.bypasses.Simkit.Stats.mean)
+            (json_float c.Experiment.rounds.Simkit.Stats.mean)
             (json_float wall_seconds))
         cells;
       output_string oc "\n  ]\n}\n")
@@ -82,14 +97,172 @@ let timeline_csv points path =
             p.Timeline.mean_distance)
         points)
 
+(* Chrome trace-event JSON (the format chrome://tracing and Perfetto
+   load).  Timestamps are microseconds relative to the earliest event;
+   each OCaml domain becomes one "thread" track. *)
+let chrome_trace events path =
+  let module E = Obskit.Event in
+  let t0 =
+    List.fold_left
+      (fun acc (e : E.t) -> Float.min acc e.E.ts_us)
+      Float.infinity events
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let b = Buffer.create 65536 in
+  let sp fmt = Printf.sprintf fmt in
+  let instant ~ts ~tid name args =
+    sp "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\"s\":\"t\",\"args\":{%s}}"
+      tid (json_float ts) (json_escape name) args
+  in
+  let counter ~ts ~tid name args =
+    sp "{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\"args\":{%s}}"
+      tid (json_float ts) (json_escape name) args
+  in
+  let of_event (e : E.t) =
+    let ts = e.E.ts_us -. t0 in
+    let tid = e.E.domain in
+    match e.E.payload with
+    | E.Span { name; phase } ->
+        [
+          sp "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"%s\",\"cat\":\"span\"}"
+            (match phase with E.Begin -> "B" | E.End -> "E")
+            tid (json_float ts) (json_escape name);
+        ]
+    | E.Round_begin { round; active; live_data } ->
+        [
+          instant ~ts ~tid "round_begin"
+            (sp "\"round\":%d,\"active\":%d,\"live_data\":%d" round active
+               live_data);
+          counter ~ts ~tid "active_messages"
+            (sp "\"active\":%d,\"live_data\":%d" active live_data);
+        ]
+    | E.Step_planned { round; msg; kind; rotate; delta_phi } ->
+        [
+          instant ~ts ~tid "step_planned"
+            (sp
+               "\"round\":%d,\"msg\":%d,\"kind\":\"%s\",\"rotate\":%b,\"delta_phi\":%s"
+               round msg (json_escape kind) rotate (json_float delta_phi));
+        ]
+    | E.Cluster_claimed { round; msg; cluster; rotate } ->
+        [
+          instant ~ts ~tid "cluster_claimed"
+            (sp "\"round\":%d,\"msg\":%d,\"size\":%d,\"rotate\":%b" round msg
+               (List.length cluster) rotate);
+        ]
+    | E.Conflict { round; msg; kind } ->
+        [
+          instant ~ts ~tid
+            (sp "conflict_%s" (E.conflict_to_string kind))
+            (sp "\"round\":%d,\"msg\":%d" round msg);
+        ]
+    | E.Rotation { round; msg; node; count; delta_phi } ->
+        [
+          instant ~ts ~tid "rotation"
+            (sp "\"round\":%d,\"msg\":%d,\"node\":%d,\"count\":%d,\"delta_phi\":%s"
+               round msg node count (json_float delta_phi));
+        ]
+    | E.Phi_sample { round; phi } ->
+        [
+          counter ~ts ~tid "phi"
+            (sp "\"phi\":%s,\"round\":%d" (json_float phi) round);
+        ]
+    | E.Msg_delivered { round; msg; data; birth; hops; rotations } ->
+        [
+          instant ~ts ~tid "msg_delivered"
+            (sp
+               "\"round\":%d,\"msg\":%d,\"data\":%b,\"latency\":%d,\"hops\":%d,\"rotations\":%d"
+               round msg data (round - birth) hops rotations);
+        ]
+    | E.Pool_task { task; phase = E.Enqueue; queue_depth; _ } ->
+        [
+          counter ~ts ~tid "pool_queue_depth"
+            (sp "\"depth\":%d" queue_depth);
+          instant ~ts ~tid "pool_enqueue" (sp "\"task\":%d" task);
+        ]
+    | E.Pool_task { phase = E.Start; _ } -> []
+    | E.Pool_task { task; phase = E.Done; elapsed_us; _ } ->
+        [
+          sp
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":\"task %d\",\"cat\":\"pool\"}"
+            tid
+            (json_float (ts -. elapsed_us))
+            (json_float elapsed_us) task;
+        ]
+  in
+  let domains =
+    List.sort_uniq compare (List.map (fun (e : E.t) -> e.E.domain) events)
+  in
+  let meta =
+    sp
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"cbnet-sim\"}}"
+    :: List.map
+         (fun d ->
+           sp
+             "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"domain %d\"}}"
+             d d)
+         domains
+  in
+  let entries = meta @ List.concat_map of_event events in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b s)
+    entries;
+  Buffer.add_string b "\n]}\n";
+  with_out path (fun oc -> Buffer.output_buffer oc b)
+
+(* Prometheus text exposition (version 0.0.4).  Registry counters keep
+   their label sets verbatim in the key ([name{kind="pause"}]), so the
+   exporter only has to group adjacent keys by base name for the
+   [# TYPE] lines; streams become summaries with exact quantiles. *)
+let prometheus reg path =
+  with_out path (fun oc ->
+      let base name =
+        match String.index_opt name '{' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      let last = ref "" in
+      List.iter
+        (fun (name, v) ->
+          let bn = base name in
+          if bn <> !last then begin
+            Printf.fprintf oc "# TYPE %s counter\n" bn;
+            last := bn
+          end;
+          Printf.fprintf oc "%s %d\n" name v)
+        (Simkit.Metrics.counters reg);
+      List.iter
+        (fun (name, (s : Simkit.Stats.summary)) ->
+          let data = Simkit.Metrics.samples reg name in
+          Printf.fprintf oc "# TYPE %s summary\n" name;
+          List.iter
+            (fun (q, p) ->
+              Printf.fprintf oc "%s{quantile=\"%s\"} %.6f\n" name q
+                (Simkit.Stats.percentile data p))
+            [ ("0.5", 50.0); ("0.95", 95.0); ("0.99", 99.0) ];
+          Printf.fprintf oc "%s_sum %.6f\n" name s.Simkit.Stats.total;
+          Printf.fprintf oc "%s_count %d\n" name s.Simkit.Stats.n)
+        (Simkit.Metrics.streams reg))
+
 let latencies_csv latencies path =
   with_out path (fun oc ->
       output_string oc "latency\n";
       Array.iter (fun l -> Printf.fprintf oc "%f\n" l) latencies;
       if Array.length latencies > 0 then begin
+        let s = Simkit.Stats.of_array latencies in
+        let sum = Simkit.Stats.summary s in
+        Printf.fprintf oc "# n = %d\n" sum.Simkit.Stats.n;
+        Printf.fprintf oc "# mean = %f\n" sum.Simkit.Stats.mean;
+        Printf.fprintf oc "# std = %f\n" sum.Simkit.Stats.std;
+        Printf.fprintf oc "# min = %f\n" sum.Simkit.Stats.min;
+        Printf.fprintf oc "# max = %f\n" sum.Simkit.Stats.max;
         List.iter
-          (fun p ->
-            Printf.fprintf oc "# p%.0f = %f\n" p
-              (Simkit.Stats.percentile latencies p))
-          [ 50.0; 90.0; 99.0 ]
+          (fun (label, v) -> Printf.fprintf oc "# %s = %f\n" label v)
+          [
+            ("p50", sum.Simkit.Stats.p50);
+            ("p95", sum.Simkit.Stats.p95);
+            ("p99", sum.Simkit.Stats.p99);
+          ]
       end)

@@ -4,7 +4,9 @@
     distributions. *)
 
 val measurements_csv : Experiment.measurement list -> string -> unit
-(** Header: workload,algo,seeds,metric columns (mean and ci95 each). *)
+(** Header: workload,algo,seeds,metric columns (mean and ci95 each,
+    then p50/p95/p99 for routing, work, makespan and throughput, and
+    the mean round count). *)
 
 val bench_json :
   commit:string ->
@@ -15,13 +17,28 @@ val bench_json :
 (** Machine-readable bench export for CI perf tracking
     ([BENCH_*.json]): writes
     [{commit, timestamp, cells: [{workload, algo, seeds, work,
-    makespan, throughput, rotations, wall_seconds}]}], one cell per
-    (workload, algorithm) with metric {e means} across seeds and the
-    measured wall-clock seconds of the cell run (the float paired with
-    each measurement).  Hand-rolled writer — no JSON dependency. *)
+    makespan, throughput, rotations, pauses, bypasses, rounds,
+    wall_seconds}]}], one cell per (workload, algorithm) with metric
+    {e means} across seeds and the measured wall-clock seconds of the
+    cell run (the float paired with each measurement).  Hand-rolled
+    writer — no JSON dependency. *)
 
 val timeline_csv : Timeline.point list -> string -> unit
 
 val latencies_csv : float array -> string -> unit
-(** One latency per row, plus a percentile summary block as trailing
-    comment lines. *)
+(** One latency per row, plus a summary block as trailing comment
+    lines: n, mean, std, min, max, p50, p95, p99. *)
+
+val chrome_trace : Obskit.Event.t list -> string -> unit
+(** Write telemetry events (oldest first) as Chrome trace-event JSON,
+    loadable in Perfetto ({:https://ui.perfetto.dev}) or
+    [chrome://tracing].  Spans become B/E slices and pool tasks
+    complete ("X") slices on one track per domain; rounds, Φ and queue
+    depth become counter series; steps, conflicts, rotations and
+    deliveries become instant events. *)
+
+val prometheus : Simkit.Metrics.t -> string -> unit
+(** Write a metrics registry in the Prometheus text exposition format:
+    counters (with any labels embedded in the registry key) and one
+    summary per observation stream with exact 0.5/0.95/0.99 quantiles
+    plus [_sum] and [_count]. *)

@@ -1,0 +1,38 @@
+module E = Obskit.Event
+module M = Simkit.Metrics
+
+let recorder reg (ev : E.t) =
+  match ev.E.payload with
+  | E.Round_begin { active; _ } ->
+      M.incr reg "cbnet_rounds_total";
+      M.observe reg "cbnet_active_messages" (float_of_int active)
+  | E.Step_planned { delta_phi; _ } ->
+      M.incr reg "cbnet_steps_planned_total";
+      M.observe reg "cbnet_delta_phi" delta_phi
+  | E.Cluster_claimed _ -> M.incr reg "cbnet_clusters_claimed_total"
+  | E.Conflict { kind; _ } ->
+      M.incr reg
+        (Printf.sprintf "cbnet_conflicts_total{kind=%S}"
+           (E.conflict_to_string kind))
+  | E.Rotation { count; _ } -> M.add reg "cbnet_rotations_total" count
+  | E.Phi_sample { phi; _ } -> M.observe reg "cbnet_phi" phi
+  | E.Msg_delivered { data; round; birth; _ } ->
+      M.incr reg
+        (Printf.sprintf "cbnet_messages_delivered_total{kind=%S}"
+           (if data then "data" else "update"));
+      if data then
+        M.observe reg "cbnet_delivery_latency_rounds"
+          (float_of_int (round - birth))
+  | E.Pool_task { phase = E.Enqueue; queue_depth; _ } ->
+      M.incr reg "cbnet_pool_tasks_total";
+      M.observe reg "cbnet_pool_queue_depth" (float_of_int queue_depth)
+  | E.Pool_task { phase = E.Done; elapsed_us; _ } ->
+      M.observe reg "cbnet_pool_task_us" elapsed_us;
+      M.add reg
+        (Printf.sprintf "cbnet_pool_busy_us_total{domain=\"%d\"}" ev.E.domain)
+        (int_of_float elapsed_us)
+  | E.Pool_task { phase = E.Start; _ } -> ()
+  | E.Span { phase = E.End; _ } -> M.incr reg "cbnet_spans_total"
+  | E.Span { phase = E.Begin; _ } -> ()
+
+let metrics_sink reg = Obskit.Sink.stream (recorder reg)

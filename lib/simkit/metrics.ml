@@ -43,6 +43,11 @@ let counter t name =
 
 let stream t name = Option.map Stats.summary (Hashtbl.find_opt t.streams name)
 
+let samples t name =
+  match Hashtbl.find_opt t.raw name with
+  | Some r -> Array.of_list (List.rev !r)
+  | None -> [||]
+
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

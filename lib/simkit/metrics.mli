@@ -21,6 +21,10 @@ val counter : t -> string -> int
 val stream : t -> string -> Stats.summary option
 (** Summary of an observation stream, if it exists. *)
 
+val samples : t -> string -> float array
+(** Raw observations of a stream in arrival order ([[||]] if the
+    stream does not exist) — the input for quantile exports. *)
+
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 

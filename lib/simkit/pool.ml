@@ -5,6 +5,8 @@ type t = {
   has_work : Condition.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  sink : Obskit.Sink.t;
+  mutable next_task_id : int;  (* under [mutex] *)
 }
 
 let default_num_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
@@ -41,7 +43,7 @@ let worker t () =
   in
   loop ()
 
-let create ?num_domains () =
+let create ?num_domains ?(sink = Obskit.Sink.null) () =
   let requested =
     match num_domains with Some n -> n | None -> default_num_domains ()
   in
@@ -54,6 +56,8 @@ let create ?num_domains () =
       has_work = Condition.create ();
       closed = false;
       workers = [];
+      sink;
+      next_task_id = 0;
     }
   in
   t.workers <- List.init size (fun _ -> Domain.spawn (worker t));
@@ -61,35 +65,112 @@ let create ?num_domains () =
 
 let num_domains t = Stdlib.max 1 t.size
 
+let reserve_ids t n =
+  Mutex.lock t.mutex;
+  let base = t.next_task_id in
+  t.next_task_id <- base + n;
+  Mutex.unlock t.mutex;
+  base
+
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  d
+
+(* Emit the [Start]/[Done] pair around one task body.  [Done] carries
+   the task's wall time; both carry the live queue depth so the trace
+   shows backlog draining per domain. *)
+let observed t ~id body =
+  if not (Obskit.Sink.enabled t.sink) then body ()
+  else begin
+    let t0 = Obskit.Clock.now_us () in
+    let depth = queue_depth t in
+    Obskit.Sink.record t.sink (fun () ->
+        Obskit.Event.Pool_task
+          {
+            task = id;
+            phase = Obskit.Event.Start;
+            queue_depth = depth;
+            elapsed_us = 0.0;
+          });
+    Fun.protect
+      ~finally:(fun () ->
+        let elapsed_us = Obskit.Clock.now_us () -. t0 in
+        let depth = queue_depth t in
+        Obskit.Sink.record t.sink (fun () ->
+            Obskit.Event.Pool_task
+              {
+                task = id;
+                phase = Obskit.Event.Done;
+                queue_depth = depth;
+                elapsed_us;
+              }))
+      body
+  end
+
 let submit_batch t tasks =
   Mutex.lock t.mutex;
   if t.closed then begin
     Mutex.unlock t.mutex;
     invalid_arg "Pool.map: pool is shut down"
   end;
-  List.iter (fun task -> Queue.push task t.queue) tasks;
+  let traced = Obskit.Sink.enabled t.sink in
+  List.iter
+    (fun (id, task) ->
+      Queue.push task t.queue;
+      if traced then begin
+        let depth = Queue.length t.queue in
+        Obskit.Sink.record t.sink (fun () ->
+            Obskit.Event.Pool_task
+              {
+                task = id;
+                phase = Obskit.Event.Enqueue;
+                queue_depth = depth;
+                elapsed_us = 0.0;
+              })
+      end)
+    tasks;
   Condition.broadcast t.has_work;
   Mutex.unlock t.mutex
 
 let map t n f =
   if n <= 0 then [||]
   else if t.size = 0 then begin
-    (* In-caller execution, in index order: the sequential path. *)
-    let first = f 0 in
+    (* In-caller execution, in index order: the sequential path.  The
+       task never sits in the shared queue, but traced runs still get
+       the full Enqueue/Start/Done lifecycle (at depth 0) so exporters
+       see the same event shape at every pool size. *)
+    let base = reserve_ids t n in
+    let run i =
+      let id = base + i in
+      if Obskit.Sink.enabled t.sink then
+        Obskit.Sink.record t.sink (fun () ->
+            Obskit.Event.Pool_task
+              {
+                task = id;
+                phase = Obskit.Event.Enqueue;
+                queue_depth = 0;
+                elapsed_us = 0.0;
+              });
+      observed t ~id (fun () -> f i)
+    in
+    let first = run 0 in
     let results = Array.make n first in
     for i = 1 to n - 1 do
-      results.(i) <- f i
+      results.(i) <- run i
     done;
     results
   end
   else begin
+    let base = reserve_ids t n in
     let results = Array.make n None in
     let errors = Array.make n None in
     let remaining = ref n in
     let batch_mutex = Mutex.create () in
     let batch_done = Condition.create () in
     let task i () =
-      (match f i with
+      (match observed t ~id:(base + i) (fun () -> f i) with
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
       Mutex.lock batch_mutex;
@@ -97,7 +178,7 @@ let map t n f =
       if !remaining = 0 then Condition.signal batch_done;
       Mutex.unlock batch_mutex
     in
-    submit_batch t (List.init n (fun i -> task i));
+    submit_batch t (List.init n (fun i -> (base + i, task i)));
     Mutex.lock batch_mutex;
     while !remaining > 0 do
       Condition.wait batch_done batch_mutex
@@ -128,6 +209,6 @@ let shutdown t =
     t.workers <- []
   end
 
-let with_pool ?num_domains f =
-  let t = create ?num_domains () in
+let with_pool ?num_domains ?sink f =
+  let t = create ?num_domains ?sink () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -26,10 +26,20 @@ val default_jobs : unit -> int
 (** Parallelism requested by the environment: [CBNET_JOBS] when set to
     a positive integer, {!default_num_domains} otherwise. *)
 
-val create : ?num_domains:int -> unit -> t
+val create : ?num_domains:int -> ?sink:Obskit.Sink.t -> unit -> t
 (** Spawn a pool of [num_domains] workers (default
     {!default_num_domains}).  [num_domains <= 1] spawns nothing and
-    runs all work in the caller. *)
+    runs all work in the caller.
+
+    [sink] (default {!Obskit.Sink.null}) receives one
+    [Obskit.Event.Pool_task] per task and phase: [Enqueue] when the
+    task enters the shared queue, [Start] when a worker picks it up and
+    [Done] when it finishes ([Done] carries the task's wall time in
+    microseconds).  All three carry the live queue depth.  In-caller
+    pools emit the same lifecycle with depth 0, so traces look alike
+    at every pool size.  Task ids are unique per pool and assigned in
+    submission (index) order.  With the null sink no event is
+    constructed — the hot path stays allocation-free. *)
 
 val num_domains : t -> int
 (** Worker count of [t]; 1 for an in-caller (sequential) pool. *)
@@ -53,5 +63,5 @@ val shutdown : t -> unit
     {!map} batches finish first; subsequent {!map} calls raise
     [Invalid_argument]. *)
 
-val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+val with_pool : ?num_domains:int -> ?sink:Obskit.Sink.t -> (t -> 'a) -> 'a
 (** [create], run, and always [shutdown] (also on exceptions). *)

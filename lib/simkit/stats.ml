@@ -5,10 +5,19 @@ type t = {
   mutable min : float;
   mutable max : float;
   mutable total : float;
+  mutable samples : float list;  (* newest first, for percentiles *)
 }
 
 let create () =
-  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = infinity;
+    max = neg_infinity;
+    total = 0.0;
+    samples = [];
+  }
 
 let add t x =
   t.n <- t.n + 1;
@@ -17,7 +26,8 @@ let add t x =
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
   if x < t.min then t.min <- x;
   if x > t.max then t.max <- x;
-  t.total <- t.total +. x
+  t.total <- t.total +. x;
+  t.samples <- x :: t.samples
 
 let count t = t.n
 let mean t = if t.n = 0 then 0.0 else t.mean
@@ -34,17 +44,10 @@ type summary = {
   min : float;
   max : float;
   total : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
 }
-
-let summary (acc : t) =
-  {
-    n = acc.n;
-    mean = mean acc;
-    std = std acc;
-    min = min acc;
-    max = max acc;
-    total = acc.total;
-  }
 
 let of_list xs =
   let t = create () in
@@ -70,9 +73,42 @@ let percentile data p =
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
+let summary (acc : t) =
+  (* Percentiles need the retained samples; a single sorted copy
+     serves all three order statistics. *)
+  let pct =
+    if acc.n = 0 then fun _ -> 0.0
+    else begin
+      let data = Array.of_list acc.samples in
+      Array.sort compare data;
+      let n = acc.n in
+      fun p ->
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor rank) in
+        let hi = int_of_float (Float.ceil rank) in
+        if lo = hi then data.(lo)
+        else
+          let frac = rank -. float_of_int lo in
+          data.(lo) +. (frac *. (data.(hi) -. data.(lo)))
+    end
+  in
+  {
+    n = acc.n;
+    mean = mean acc;
+    std = std acc;
+    min = min acc;
+    max = max acc;
+    total = acc.total;
+    p50 = pct 50.0;
+    p95 = pct 95.0;
+    p99 = pct 99.0;
+  }
+
 let confidence95 (acc : t) =
   if acc.n < 2 then 0.0 else 1.96 *. std acc /. sqrt (float_of_int acc.n)
 
 let pp_summary fmt s =
-  Format.fprintf fmt "n=%d mean=%.3f std=%.3f min=%.3f max=%.3f total=%.3f" s.n
-    s.mean s.std s.min s.max s.total
+  Format.fprintf fmt
+    "n=%d mean=%.3f std=%.3f min=%.3f max=%.3f total=%.3f p50=%.3f p95=%.3f \
+     p99=%.3f"
+    s.n s.mean s.std s.min s.max s.total s.p50 s.p95 s.p99

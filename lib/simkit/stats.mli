@@ -23,9 +23,17 @@ type summary = {
   min : float;
   max : float;
   total : float;
+  p50 : float;  (** Median (0 when empty). *)
+  p95 : float;
+  p99 : float;
 }
 
 val summary : t -> summary
+(** Snapshot of the accumulator.  Percentiles are exact (linear
+    interpolation between order statistics, like {!percentile}),
+    computed from samples the accumulator retains — O(n log n) per
+    call, so summarize once per stream, not per observation. *)
+
 val of_list : float list -> t
 val of_array : float array -> t
 

@@ -147,7 +147,19 @@ let test_latencies_csv () =
          done
        with End_of_file -> ());
       close_in ic;
-      Alcotest.(check int) "header + 3 rows + 3 percentiles" 7 (List.length !lines))
+      Alcotest.(check int) "header + 3 rows + 8 summary lines" 12
+        (List.length !lines);
+      List.iter
+        (fun prefix ->
+          Alcotest.(check bool)
+            (Printf.sprintf "summary line %s present" prefix)
+            true
+            (List.exists
+               (fun l ->
+                 String.length l >= String.length prefix
+                 && String.sub l 0 (String.length prefix) = prefix)
+               !lines))
+        [ "# p50 = "; "# p95 = "; "# p99 = "; "# mean = " ])
 
 (* ---------------- latency capture ---------------- *)
 

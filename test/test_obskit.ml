@@ -1,0 +1,402 @@
+(* Telemetry layer: sinks, events, the metrics registry, the recorder,
+   the exporters — and the invariant that makes all of it safe to ship:
+   tracing never changes what a run computes. *)
+
+module E = Obskit.Event
+module Sink = Obskit.Sink
+module Metrics = Simkit.Metrics
+module Stats = Simkit.Stats
+
+let sample_event payload = { E.ts_us = 12.5; domain = 3; payload }
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- sinks ------------------------------------------------------- *)
+
+let test_null_sink_disabled () =
+  Alcotest.(check bool) "null disabled" false (Sink.enabled Sink.null);
+  (* The payload thunk must not run on the null sink. *)
+  let called = ref false in
+  Sink.record Sink.null (fun () ->
+      called := true;
+      E.Phi_sample { round = 0; phi = 0.0 });
+  Alcotest.(check bool) "thunk not called" false !called
+
+let test_stream_sink_delivers () =
+  let seen = ref [] in
+  let sink = Sink.stream (fun ev -> seen := ev :: !seen) in
+  Alcotest.(check bool) "stream enabled" true (Sink.enabled sink);
+  Sink.record sink (fun () -> E.Phi_sample { round = 7; phi = 3.5 });
+  Sink.record sink (fun () -> E.Round_begin { round = 8; active = 2; live_data = 1 });
+  match !seen with
+  | [ b; a ] ->
+      (match a.E.payload with
+      | E.Phi_sample { round; phi } ->
+          Alcotest.(check int) "round" 7 round;
+          Alcotest.(check (float 0.0)) "phi" 3.5 phi
+      | _ -> Alcotest.fail "wrong first payload");
+      (match b.E.payload with
+      | E.Round_begin { active; _ } -> Alcotest.(check int) "active" 2 active
+      | _ -> Alcotest.fail "wrong second payload");
+      Alcotest.(check bool) "timestamps non-decreasing" true
+        (b.E.ts_us >= a.E.ts_us)
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let test_ring_capacity_and_dropped () =
+  let ring = Sink.Ring.create ~capacity:4 in
+  let sink = Sink.Ring.sink ring in
+  for i = 1 to 10 do
+    Sink.emit sink (sample_event (E.Phi_sample { round = i; phi = float_of_int i }))
+  done;
+  Alcotest.(check int) "length capped" 4 (Sink.Ring.length ring);
+  Alcotest.(check int) "dropped counted" 6 (Sink.Ring.dropped ring);
+  let rounds =
+    List.map
+      (fun ev ->
+        match ev.E.payload with E.Phi_sample { round; _ } -> round | _ -> -1)
+      (Sink.Ring.contents ring)
+  in
+  (* Newest [capacity] events survive, oldest first. *)
+  Alcotest.(check (list int)) "newest retained in order" [ 7; 8; 9; 10 ] rounds
+
+let test_ring_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Sink.Ring.create: capacity must be >= 1")
+    (fun () -> ignore (Sink.Ring.create ~capacity:0))
+
+let test_tee_fans_out_and_collapses () =
+  Alcotest.(check bool) "tee [] is null" false (Sink.enabled (Sink.tee []));
+  Alcotest.(check bool) "tee of nulls is null" false
+    (Sink.enabled (Sink.tee [ Sink.null; Sink.null ]));
+  let a = ref 0 and b = ref 0 in
+  let sink =
+    Sink.tee
+      [
+        Sink.stream (fun _ -> incr a); Sink.null; Sink.stream (fun _ -> incr b);
+      ]
+  in
+  Sink.emit sink (sample_event (E.Span { name = "x"; phase = E.Begin }));
+  Sink.emit sink (sample_event (E.Span { name = "x"; phase = E.End }));
+  Alcotest.(check int) "first sink saw both" 2 !a;
+  Alcotest.(check int) "second sink saw both" 2 !b
+
+let test_span_emits_pair_even_on_exception () =
+  let seen = ref [] in
+  let sink = Sink.stream (fun ev -> seen := ev.E.payload :: !seen) in
+  let r = Sink.span sink "outer" (fun () -> Sink.span sink "inner" (fun () -> 41) + 1) in
+  Alcotest.(check int) "result passed through" 42 r;
+  (try Sink.span sink "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  let names =
+    List.rev_map
+      (function
+        | E.Span { name; phase } ->
+            name ^ (match phase with E.Begin -> "+" | E.End -> "-")
+        | _ -> "?")
+      !seen
+  in
+  Alcotest.(check (list string)) "properly nested, closed on raise"
+    [ "outer+"; "inner+"; "inner-"; "outer-"; "boom+"; "boom-" ]
+    names
+
+let test_event_json_shape () =
+  let json =
+    E.to_json
+      (sample_event
+         (E.Step_planned
+            { round = 2; msg = 9; kind = "zig-zag"; rotate = true; delta_phi = -1.25 }))
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json contains %s" needle)
+        true (contains json needle))
+    [ "\"type\":\"step_planned\""; "\"round\":2"; "\"rotate\":true"; "\"domain\":3" ]
+
+(* --- metrics registry -------------------------------------------- *)
+
+let test_metrics_counter_roundtrip () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "absent counter reads 0" 0 (Metrics.counter m "x");
+  Metrics.incr m "x";
+  Metrics.incr m "x";
+  Metrics.add m "x" 40;
+  Alcotest.(check int) "counter accumulates" 42 (Metrics.counter m "x")
+
+let test_metrics_stream_roundtrip () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "absent stream is None" true (Metrics.stream m "s" = None);
+  List.iter (Metrics.observe m "s") [ 1.0; 2.0; 3.0; 4.0 ];
+  (match Metrics.stream m "s" with
+  | None -> Alcotest.fail "stream missing"
+  | Some s ->
+      Alcotest.(check int) "n" 4 s.Stats.n;
+      Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+      Alcotest.(check (float 1e-9)) "total" 10.0 s.Stats.total);
+  Alcotest.(check (array (float 1e-9))) "samples in arrival order"
+    [| 1.0; 2.0; 3.0; 4.0 |] (Metrics.samples m "s");
+  Alcotest.(check (array (float 1e-9))) "absent samples empty" [||]
+    (Metrics.samples m "nope")
+
+let test_metrics_merge_and_reset () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add a "c" 5;
+  Metrics.observe a "s" 1.0;
+  Metrics.add b "c" 7;
+  Metrics.add b "only_b" 1;
+  Metrics.observe b "s" 3.0;
+  Metrics.merge_into ~dst:a b;
+  Alcotest.(check int) "counters summed" 12 (Metrics.counter a "c");
+  Alcotest.(check int) "new counter copied" 1 (Metrics.counter a "only_b");
+  (match Metrics.stream a "s" with
+  | Some s ->
+      Alcotest.(check int) "observations appended" 2 s.Stats.n;
+      Alcotest.(check (float 1e-9)) "merged total" 4.0 s.Stats.total
+  | None -> Alcotest.fail "merged stream missing");
+  Metrics.reset a;
+  Alcotest.(check int) "reset clears counters" 0 (Metrics.counter a "c");
+  Alcotest.(check bool) "reset clears streams" true (Metrics.stream a "s" = None)
+
+let test_stats_percentiles () =
+  let t = Stats.of_list (List.init 100 (fun i -> float_of_int (i + 1))) in
+  let s = Stats.summary t in
+  Alcotest.(check (float 1e-9)) "p50 of 1..100" 50.5 s.Stats.p50;
+  Alcotest.(check (float 1e-9)) "p95 of 1..100" 95.05 s.Stats.p95;
+  Alcotest.(check (float 1e-9)) "p99 of 1..100" 99.01 s.Stats.p99;
+  let one = Stats.summary (Stats.of_list [ 7.0 ]) in
+  Alcotest.(check (float 1e-9)) "single-sample percentiles" 7.0 one.Stats.p50;
+  let empty = Stats.summary (Stats.create ()) in
+  Alcotest.(check (float 1e-9)) "empty percentiles are 0" 0.0 empty.Stats.p99
+
+(* --- instrumented runs ------------------------------------------- *)
+
+let hot_trace m =
+  (* A hot pair plus background noise: guarantees rotations happen. *)
+  let rng = Simkit.Rng.create 5 in
+  Array.init m (fun i ->
+      if i mod 4 < 3 then (i / 4, 3, 60)
+      else (i / 4, Simkit.Rng.int rng 63, Simkit.Rng.int rng 63))
+
+let count_events events pred = List.length (List.filter pred events)
+
+let test_traced_concurrent_run_bit_identical_and_complete () =
+  let trace = hot_trace 400 in
+  let untraced = Cbnet.Concurrent.run (Bstnet.Build.balanced 63) trace in
+  let ring = Sink.Ring.create ~capacity:2_000_000 in
+  let traced =
+    Cbnet.Concurrent.run ~sink:(Sink.Ring.sink ring) (Bstnet.Build.balanced 63)
+      trace
+  in
+  (* The whole point of the telemetry layer: observation changes
+     nothing.  Structural equality on Run_stats.t covers every field,
+     floats included, so this is a bit-for-bit check. *)
+  Alcotest.(check bool) "run stats bit-identical" true (untraced = traced);
+  let events = Sink.Ring.contents ring in
+  Alcotest.(check int) "dropped nothing" 0 (Sink.Ring.dropped ring);
+  let n kind = count_events events (fun ev -> E.name ev.E.payload = kind) in
+  Alcotest.(check int) "one Round_begin per round"
+    traced.Cbnet.Run_stats.rounds (n "round_begin");
+  Alcotest.(check int) "one Phi_sample per round" traced.Cbnet.Run_stats.rounds
+    (n "phi_sample");
+  Alcotest.(check int) "deliveries = data + updates"
+    (traced.Cbnet.Run_stats.messages + traced.Cbnet.Run_stats.update_messages)
+    (n "msg_delivered");
+  Alcotest.(check bool) "rotations observed" true (n "rotation" > 0);
+  Alcotest.(check bool) "conflicts observed" true (n "conflict" > 0);
+  let rot_total =
+    List.fold_left
+      (fun acc ev ->
+        match ev.E.payload with E.Rotation { count; _ } -> acc + count | _ -> acc)
+      0 events
+  in
+  Alcotest.(check int) "rotation counts sum to Run_stats"
+    traced.Cbnet.Run_stats.rotations rot_total
+
+let test_traced_sequential_run_bit_identical () =
+  let trace = hot_trace 300 in
+  let untraced = Cbnet.Sequential.run (Bstnet.Build.balanced 63) trace in
+  let ring = Sink.Ring.create ~capacity:2_000_000 in
+  let traced =
+    Cbnet.Sequential.run ~sink:(Sink.Ring.sink ring) (Bstnet.Build.balanced 63)
+      trace
+  in
+  Alcotest.(check bool) "run stats bit-identical" true (untraced = traced);
+  let events = Sink.Ring.contents ring in
+  let n kind = count_events events (fun ev -> E.name ev.E.payload = kind) in
+  Alcotest.(check bool) "steps observed" true (n "step_planned" > 0);
+  Alcotest.(check int) "deliveries = data + updates"
+    (traced.Cbnet.Run_stats.messages + traced.Cbnet.Run_stats.update_messages)
+    (n "msg_delivered")
+
+let test_sequential_pp_prints_zero_conflict_fields () =
+  (* Sequential runs must print the concurrent-only columns as zeros so
+     logs line up across algorithms. *)
+  let stats = Cbnet.Sequential.run (Bstnet.Build.balanced 15) [| (0, 0, 14) |] in
+  let line = Format.asprintf "%a" Cbnet.Run_stats.pp stats in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp contains %s" needle)
+        true (contains line needle))
+    [ "pauses=0"; "bypasses=0"; "rounds=" ]
+
+let test_pool_task_lifecycle_events () =
+  let check_with num_domains =
+    let ring = Sink.Ring.create ~capacity:10_000 in
+    let results =
+      Simkit.Pool.with_pool ~num_domains ~sink:(Sink.Ring.sink ring) (fun p ->
+          Simkit.Pool.map p 8 (fun i -> i * i))
+    in
+    Alcotest.(check (array int)) "results in slot order"
+      (Array.init 8 (fun i -> i * i))
+      results;
+    let events = Sink.Ring.contents ring in
+    let phase ph =
+      count_events events (fun ev ->
+          match ev.E.payload with
+          | E.Pool_task { phase; _ } -> phase = ph
+          | _ -> false)
+    in
+    Alcotest.(check int) "8 enqueues" 8 (phase E.Enqueue);
+    Alcotest.(check int) "8 starts" 8 (phase E.Start);
+    Alcotest.(check int) "8 dones" 8 (phase E.Done);
+    List.iter
+      (fun ev ->
+        match ev.E.payload with
+        | E.Pool_task { phase = E.Done; elapsed_us; _ } ->
+            Alcotest.(check bool) "elapsed non-negative" true (elapsed_us >= 0.0)
+        | _ -> ())
+      events
+  in
+  check_with 1;
+  (* in-caller pool *)
+  check_with 3 (* worker domains *)
+
+(* --- recorder and exporters -------------------------------------- *)
+
+let test_telemetry_recorder_feeds_registry () =
+  let reg = Metrics.create () in
+  let sink = Runtime.Telemetry.metrics_sink reg in
+  Sink.emit sink (sample_event (E.Round_begin { round = 0; active = 3; live_data = 2 }));
+  Sink.emit sink (sample_event (E.Conflict { round = 0; msg = 1; kind = E.Pause }));
+  Sink.emit sink (sample_event (E.Conflict { round = 0; msg = 2; kind = E.Bypass }));
+  Sink.emit sink (sample_event (E.Conflict { round = 1; msg = 1; kind = E.Pause }));
+  Sink.emit sink
+    (sample_event (E.Rotation { round = 1; msg = 1; node = 4; count = 2; delta_phi = -0.5 }));
+  Sink.emit sink
+    (sample_event
+       (E.Msg_delivered
+          { round = 9; msg = 1; data = true; birth = 4; hops = 3; rotations = 2 }));
+  Alcotest.(check int) "rounds" 1 (Metrics.counter reg "cbnet_rounds_total");
+  Alcotest.(check int) "pauses" 2
+    (Metrics.counter reg "cbnet_conflicts_total{kind=\"pause\"}");
+  Alcotest.(check int) "bypasses" 1
+    (Metrics.counter reg "cbnet_conflicts_total{kind=\"bypass\"}");
+  Alcotest.(check int) "rotations use count" 2
+    (Metrics.counter reg "cbnet_rotations_total");
+  Alcotest.(check (array (float 1e-9))) "latency stream" [| 5.0 |]
+    (Metrics.samples reg "cbnet_delivery_latency_rounds")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_chrome_trace_export () =
+  let trace = hot_trace 200 in
+  let ring = Sink.Ring.create ~capacity:1_000_000 in
+  ignore
+    (Simkit.Pool.with_pool ~num_domains:1 ~sink:(Sink.Ring.sink ring) (fun p ->
+         Simkit.Pool.map p 2 (fun _ ->
+             Cbnet.Concurrent.run ~sink:(Sink.Ring.sink ring)
+               (Bstnet.Build.balanced 63) trace)));
+  let path = Filename.temp_file "obskit_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Runtime.Export.chrome_trace (Sink.Ring.contents ring) path;
+      let body = read_file path in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "trace contains %s" needle)
+            true (contains body needle))
+        [
+          "\"traceEvents\"";
+          "\"process_name\"";
+          "\"name\":\"round_begin\"";
+          "\"name\":\"msg_delivered\"";
+          "\"ph\":\"X\"";
+          "\"name\":\"phi\"";
+        ];
+      (* Structural sanity without a JSON parser: brackets balance and
+         no NaN/infinity literals leak in. *)
+      let count c = String.fold_left (fun k ch -> if ch = c then k + 1 else k) 0 body in
+      Alcotest.(check int) "braces balance" (count '{') (count '}');
+      Alcotest.(check int) "brackets balance" (count '[') (count ']');
+      Alcotest.(check bool) "no nan" false (contains body "nan"))
+
+let test_prometheus_export () =
+  let reg = Metrics.create () in
+  let sink = Sink.tee [ Runtime.Telemetry.metrics_sink reg ] in
+  let stats =
+    Cbnet.Concurrent.run ~sink (Bstnet.Build.balanced 63) (hot_trace 200)
+  in
+  let path = Filename.temp_file "obskit_metrics" ".prom" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Runtime.Export.prometheus reg path;
+      let body = read_file path in
+      Alcotest.(check bool) "TYPE line for rounds" true
+        (contains body "# TYPE cbnet_rounds_total counter");
+      Alcotest.(check bool) "TYPE line for phi summary" true
+        (contains body "# TYPE cbnet_phi summary");
+      Alcotest.(check bool) "quantile sample present" true
+        (contains body "cbnet_phi{quantile=\"0.5\"}");
+      Alcotest.(check bool) "rounds counter nonzero" true
+        (contains body
+           (Printf.sprintf "cbnet_rounds_total %d" stats.Cbnet.Run_stats.rounds));
+      Alcotest.(check bool) "count matches rounds" true
+        (contains body
+           (Printf.sprintf "cbnet_phi_count %d" stats.Cbnet.Run_stats.rounds)))
+
+let () =
+  Alcotest.run "obskit"
+    [
+      ( "sinks",
+        [
+          Alcotest.test_case "null disabled" `Quick test_null_sink_disabled;
+          Alcotest.test_case "stream delivers" `Quick test_stream_sink_delivers;
+          Alcotest.test_case "ring capacity" `Quick test_ring_capacity_and_dropped;
+          Alcotest.test_case "ring bad capacity" `Quick test_ring_rejects_bad_capacity;
+          Alcotest.test_case "tee" `Quick test_tee_fans_out_and_collapses;
+          Alcotest.test_case "span nesting" `Quick test_span_emits_pair_even_on_exception;
+          Alcotest.test_case "event json" `Quick test_event_json_shape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter roundtrip" `Quick test_metrics_counter_roundtrip;
+          Alcotest.test_case "stream roundtrip" `Quick test_metrics_stream_roundtrip;
+          Alcotest.test_case "merge and reset" `Quick test_metrics_merge_and_reset;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentiles;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "concurrent traced = untraced" `Quick
+            test_traced_concurrent_run_bit_identical_and_complete;
+          Alcotest.test_case "sequential traced = untraced" `Quick
+            test_traced_sequential_run_bit_identical;
+          Alcotest.test_case "pp zero conflict fields" `Quick
+            test_sequential_pp_prints_zero_conflict_fields;
+          Alcotest.test_case "pool lifecycle" `Quick test_pool_task_lifecycle_events;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "recorder" `Quick test_telemetry_recorder_feeds_registry;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace_export;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_export;
+        ] );
+    ]
