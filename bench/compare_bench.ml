@@ -1,0 +1,258 @@
+(* Throughput-regression comparator for bench_json artifacts.
+
+     compare_bench OLD.json NEW.json [--threshold PCT]
+
+   Matches cells by (workload, algo) and compares rounds_per_sec.
+   Exit 1 when any matching cell regressed by more than the threshold
+   (default 20%), exit 2 on unreadable input.  Cells present on only
+   one side, or missing the metric (older artifacts predate it), are
+   reported and skipped — the step must stay useful against historical
+   files.
+
+   The repository deliberately has no JSON dependency; this is a
+   minimal recursive-descent parser for the subset bench_json emits
+   (objects, arrays, strings with escapes, numbers, booleans, null). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let string_body () =
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> fail "unterminated string"
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              (* Pass code points through as '?': bench_json never
+                 emits \u escapes; tolerate them without decoding. *)
+              advance ();
+              advance ();
+              advance ();
+              Buffer.add_char b '?'
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while numchar (peek ()) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else Obj (members [])
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          List []
+        end
+        else List (elements [])
+    | '"' ->
+        advance ();
+        Str (string_body ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | c when c = '-' || (c >= '0' && c <= '9') -> Num (number ())
+    | _ -> fail "unexpected character"
+  and members acc =
+    skip_ws ();
+    expect '"';
+    let k = string_body () in
+    skip_ws ();
+    expect ':';
+    let v = value () in
+    skip_ws ();
+    match peek () with
+    | ',' ->
+        advance ();
+        members ((k, v) :: acc)
+    | '}' ->
+        advance ();
+        List.rev ((k, v) :: acc)
+    | _ -> fail "expected ',' or '}'"
+  and elements acc =
+    let v = value () in
+    skip_ws ();
+    match peek () with
+    | ',' ->
+        advance ();
+        elements (v :: acc)
+    | ']' ->
+        advance ();
+        List.rev (v :: acc)
+    | _ -> fail "expected ',' or ']'"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj k =
+  match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str_field obj k =
+  match field obj k with Some (Str s) -> Some s | _ -> None
+
+let num_field obj k =
+  match field obj k with Some (Num f) -> Some f | _ -> None
+
+type cell = { workload : string; algo : string; rps : float option }
+
+let cells_of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let root = parse body in
+  match field root "cells" with
+  | Some (List cs) ->
+      List.filter_map
+        (fun c ->
+          match (str_field c "workload", str_field c "algo") with
+          | Some workload, Some algo ->
+              Some { workload; algo; rps = num_field c "rounds_per_sec" }
+          | _ -> None)
+        cs
+  | _ -> raise (Parse_error "no \"cells\" array")
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let threshold = ref 20.0 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> threshold := f
+        | _ ->
+            prerr_endline "compare_bench: --threshold expects a positive number";
+            exit 2);
+        parse_args rest
+    | a :: rest ->
+        files := a :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl args);
+  match List.rev !files with
+  | [ old_path; new_path ] -> (
+      try
+        let old_cells = cells_of_file old_path in
+        let new_cells = cells_of_file new_path in
+        let regressions = ref 0 and compared = ref 0 in
+        List.iter
+          (fun (o : cell) ->
+            match
+              List.find_opt
+                (fun (c : cell) ->
+                  c.workload = o.workload && c.algo = o.algo)
+                new_cells
+            with
+            | None ->
+                Printf.printf "SKIP  %-14s %-8s only in %s\n" o.workload
+                  o.algo old_path
+            | Some nw -> (
+                match (o.rps, nw.rps) with
+                | Some orps, Some nrps when orps > 0.0 ->
+                    incr compared;
+                    let change = (nrps -. orps) /. orps *. 100.0 in
+                    let bad = change < -.(!threshold) in
+                    if bad then incr regressions;
+                    Printf.printf "%s  %-14s %-8s %12.0f -> %12.0f  %+6.1f%%\n"
+                      (if bad then "FAIL" else "ok  ")
+                      o.workload o.algo orps nrps change
+                | _ ->
+                    Printf.printf
+                      "SKIP  %-14s %-8s rounds_per_sec missing\n" o.workload
+                      o.algo))
+          old_cells;
+        List.iter
+          (fun (c : cell) ->
+            if
+              not
+                (List.exists
+                   (fun (o : cell) ->
+                     o.workload = c.workload && o.algo = c.algo)
+                   old_cells)
+            then
+              Printf.printf "NEW   %-14s %-8s only in %s\n" c.workload c.algo
+                new_path)
+          new_cells;
+        Printf.printf "compared %d cells, %d regression(s) beyond %.0f%%\n"
+          !compared !regressions !threshold;
+        exit (if !regressions > 0 then 1 else 0)
+      with
+      | Parse_error msg ->
+          Printf.eprintf "compare_bench: parse error: %s\n" msg;
+          exit 2
+      | Sys_error msg ->
+          Printf.eprintf "compare_bench: %s\n" msg;
+          exit 2)
+  | _ ->
+      prerr_endline
+        "usage: compare_bench OLD.json NEW.json [--threshold PCT]";
+      exit 2

@@ -234,11 +234,67 @@ let overhead_check options =
   else Format.printf "null-sink overhead: within 2%% budget@.";
   if not !ok then exit 1
 
+(* Single-domain throughput microbenchmark of the concurrent executor
+   on the smoke matrix.  Each cell is executed [reps] times and the
+   minimum wall clock is kept (the measurements are deterministic, so
+   repeats only de-noise the timing); rounds/sec, msgs/sec and
+   delivered-hops/sec land in the bench JSON as trend metrics that
+   [compare_bench.exe] can diff across commits.  Runs without a pool
+   on purpose: the metric is single-run executor speed, not fan-out
+   capacity. *)
+let perf ?(reps = 3) (options : Runtime.Figures.options) json fmt =
+  let algos = Runtime.Algo.perf_pair in
+  let cells =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun algo ->
+            let best = ref infinity and result = ref None in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              let c =
+                Runtime.Experiment.run_cell ~scale:Workloads.Catalog.Smoke
+                  ~seeds:options.Runtime.Figures.seeds
+                  ~lambda:options.Runtime.Figures.lambda
+                  ~base_seed:options.Runtime.Figures.base_seed ~workload ~algo
+                  ()
+              in
+              let w = Unix.gettimeofday () -. t0 in
+              if w < !best then best := w;
+              result := Some c
+            done;
+            (Option.get !result, !best))
+          algos)
+      Workloads.Catalog.paper_six
+  in
+  Format.fprintf fmt
+    "== PERF: concurrent executor throughput (smoke matrix, seeds=%d, \
+     min-of-%d walls, single domain) ==@."
+    options.Runtime.Figures.seeds reps;
+  List.iter
+    (fun ((c : Runtime.Experiment.measurement), wall) ->
+      let msgs = c.Runtime.Experiment.messages.Simkit.Stats.total in
+      let hops = c.Runtime.Experiment.routing.Simkit.Stats.total -. msgs in
+      let rate total = if wall > 0.0 then total /. wall else 0.0 in
+      Format.fprintf fmt
+        "%-14s %-8s rounds/s=%-11.0f msgs/s=%-10.0f hops/s=%-11.0f wall=%.4fs@."
+        c.Runtime.Experiment.workload
+        (Runtime.Algo.name c.Runtime.Experiment.algo)
+        (rate c.Runtime.Experiment.rounds.Simkit.Stats.total)
+        (rate msgs) (rate hops) wall)
+    cells;
+  match json with
+  | Some path ->
+      Runtime.Export.bench_json ~commit:(detect_commit ())
+        ~timestamp:(iso8601_now ()) cells path;
+      Format.fprintf fmt "wrote %d perf cells to %s@." (List.length cells) path
+  | None -> ()
+
 let usage =
   "usage: main.exe [--full] [--seeds N] [--jobs N] [--csv DIR] [--json FILE] \
    [--trace FILE] [--metrics FILE] [--mode ARTIFACT] [ARTIFACT ...]\n\
    artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
-   micro bench-smoke overhead-check\n\
+   micro bench-smoke overhead-check perf\n\
    (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
   \ best combined with --json; --mode NAME is an alias for naming NAME)\n\
    --jobs N parallelizes seed runs over N domains (default: CBNET_JOBS, else\n\
@@ -379,6 +435,16 @@ let () =
                     c.Runtime.Experiment.makespan.Simkit.Stats.mean wall)
                 (timed_matrix ~sink smoke_options) );
       ("overhead-check", fun () -> overhead_check smoke_options);
+      ( "perf",
+        fun () ->
+          let perf_options =
+            {
+              smoke_options with
+              Runtime.Figures.seeds =
+                (match !seeds with Some s -> s | None -> 3);
+            }
+          in
+          perf perf_options !json fmt );
     ]
   in
   (* Validate every artifact name before running anything: CI must
@@ -391,8 +457,9 @@ let () =
     names;
   (match !csv with Some dir -> export_csv ~sink dir options | None -> ());
   (match !json with
-  | Some path when not (List.mem "bench-smoke" names) ->
-      (* bench-smoke writes the JSON itself, at smoke scale. *)
+  | Some path
+    when not (List.mem "bench-smoke" names || List.mem "perf" names) ->
+      (* bench-smoke and perf write the JSON themselves. *)
       export_json ~sink options path
   | _ -> ());
   (match names with

@@ -36,6 +36,17 @@ let solve ?(knuth = false) demand =
   { n; cost; root }
 
 let cost t = t.cost.(idx t.n 0 (t.n - 1))
+
+let roots_monotone t =
+  let ok = ref true in
+  for lo = 0 to t.n - 1 do
+    for hi = lo + 1 to t.n - 1 do
+      let r = t.root.(idx t.n lo hi) in
+      if t.root.(idx t.n lo (hi - 1)) > r || r > t.root.(idx t.n (lo + 1) hi)
+      then ok := false
+    done
+  done;
+  !ok
 let root_of t ~lo ~hi = t.root.(idx t.n lo hi)
 
 let tree t =

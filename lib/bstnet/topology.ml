@@ -6,6 +6,8 @@ type t = {
   smallest : int array;
   largest : int array;
   weight : int array;
+  rank_memo : float array;  (* cached rank per node; < 0 = stale *)
+  version : int array;  (* bumped when a node's structural fields change *)
   mutable root : int;
   mutable added : int;
 }
@@ -23,6 +25,8 @@ let create ~n ~root =
     smallest = Array.init n (fun i -> i);
     largest = Array.init n (fun i -> i);
     weight = Array.make n 0;
+    rank_memo = Array.make n (-1.0);
+    version = Array.make n 0;
     root;
     added = 0;
   }
@@ -41,10 +45,17 @@ let counter t v =
   let wr = if t.right.(v) = nil then 0 else t.weight.(t.right.(v)) in
   t.weight.(v) - wl - wr
 
-let set_weight t v w = t.weight.(v) <- w
+let rank_memo t v = t.rank_memo.(v)
+let version t v = t.version.(v)
+let set_rank_memo t v r = t.rank_memo.(v) <- r
+
+let set_weight t v w =
+  t.weight.(v) <- w;
+  t.rank_memo.(v) <- -1.0
 
 let add_weight t v k =
   t.weight.(v) <- t.weight.(v) + k;
+  t.rank_memo.(v) <- -1.0;
   t.added <- t.added + k
 
 let weight_added t = t.added
@@ -52,7 +63,9 @@ let weight_added t = t.added
 let set_child t ~parent:p ~child:c =
   if p = c then invalid_arg "Topology.set_child: parent = child";
   if c < p then t.left.(p) <- c else t.right.(p) <- c;
-  t.parent.(c) <- p
+  t.parent.(c) <- p;
+  t.version.(p) <- t.version.(p) + 1;
+  t.version.(c) <- t.version.(c) + 1
 
 let refresh_local t v =
   let l = t.left.(v) and r = t.right.(v) in
@@ -61,7 +74,8 @@ let refresh_local t v =
   let c = max 0 (counter t v) in
   let wl = if l = nil then 0 else t.weight.(l) in
   let wr = if r = nil then 0 else t.weight.(r) in
-  t.weight.(v) <- c + wl + wr
+  t.weight.(v) <- c + wl + wr;
+  t.rank_memo.(v) <- -1.0
 
 let rec refresh_upward t v =
   if v <> nil then begin
@@ -95,6 +109,7 @@ let rotate_up t x =
     let b = t.right.(x) in
     t.left.(p) <- b;
     if b <> nil then t.parent.(b) <- p;
+    if b <> nil then t.version.(b) <- t.version.(b) + 1;
     t.right.(x) <- p
   end
   else begin
@@ -102,8 +117,13 @@ let rotate_up t x =
     let b = t.left.(x) in
     t.right.(p) <- b;
     if b <> nil then t.parent.(b) <- p;
+    if b <> nil then t.version.(b) <- t.version.(b) + 1;
     t.left.(x) <- p
   end;
+  (* x, p (links + intervals) and g (child link) changed shape. *)
+  t.version.(x) <- t.version.(x) + 1;
+  t.version.(p) <- t.version.(p) + 1;
+  if g <> nil then t.version.(g) <- t.version.(g) + 1;
   t.parent.(p) <- x;
   t.parent.(x) <- g;
   if g = nil then t.root <- x
@@ -119,12 +139,14 @@ let rotate_up t x =
   let wpl = if pl = nil then 0 else t.weight.(pl) in
   let wpr = if pr = nil then 0 else t.weight.(pr) in
   t.weight.(p) <- cp + wpl + wpr;
+  t.rank_memo.(p) <- -1.0;
   t.smallest.(x) <- old_interval_lo;
   t.largest.(x) <- old_interval_hi;
   let xl = t.left.(x) and xr = t.right.(x) in
   let wxl = if xl = nil then 0 else t.weight.(xl) in
   let wxr = if xr = nil then 0 else t.weight.(xr) in
-  t.weight.(x) <- cx + wxl + wxr
+  t.weight.(x) <- cx + wxl + wxr;
+  t.rank_memo.(x) <- -1.0
 
 type direction = Up | Down_left | Down_right | Here
 
@@ -181,6 +203,8 @@ let copy t =
     smallest = Array.copy t.smallest;
     largest = Array.copy t.largest;
     weight = Array.copy t.weight;
+    rank_memo = Array.copy t.rank_memo;
+    version = Array.copy t.version;
     root = t.root;
     added = t.added;
   }

@@ -46,6 +46,26 @@ val weight_added : t -> int
 (** Total weight ever applied through {!add_weight} — the protocol's
     increment budget, used by conservation tests. *)
 
+val rank_memo : t -> int -> float
+(** Per-node memo slot maintained for [Cbnet.Potential]'s cached node
+    ranks: the value last stored with {!set_rank_memo}, or a negative
+    sentinel when the node's weight has changed since (every weight
+    mutation — {!set_weight}, {!add_weight}, {!refresh_local},
+    {!rotate_up} — invalidates the slot).  {!copy} preserves memos. *)
+
+val set_rank_memo : t -> int -> float -> unit
+(** Store a (non-negative) memoized value for a node. *)
+
+val version : t -> int -> int
+(** Per-node structure version: a monotone counter bumped whenever the
+    node's links or key interval change ({!rotate_up} bumps the
+    rotated pair, the node above it and the transferred subtree root;
+    {!set_child} bumps both endpoints).  Weight updates do {e not}
+    bump it.  Lets callers cache derived data about a node's
+    neighbourhood — a cached value read from nodes whose versions are
+    unchanged is still exact (used by [Cbnet.Concurrent]'s step-shape
+    cache). *)
+
 val set_child : t -> parent:int -> child:int -> unit
 (** Attach [child] (with its current subtree) under [parent] on the
     side determined by key order.  Interval labels and weights are not

@@ -1,0 +1,40 @@
+module M = Message
+
+type t = { mutable slots : M.t array; mutable len : int }
+
+let blank id = M.data ~id ~src:0 ~dst:0 ~birth:0
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  { slots = Array.init capacity blank; len = 0 }
+
+let length a = a.len
+
+let alloc a =
+  if a.len = Array.length a.slots then begin
+    let old = a.slots in
+    let n = Array.length old in
+    a.slots <- Array.init (2 * n) (fun i -> if i < n then old.(i) else blank i)
+  end;
+  let m = a.slots.(a.len) in
+  a.len <- a.len + 1;
+  m
+
+let alloc_data a ~src ~dst ~birth =
+  let m = alloc a in
+  M.reinit m ~kind:M.Data ~src ~dst ~birth;
+  m
+
+let alloc_update a ~origin ~birth =
+  let m = alloc a in
+  M.reinit m ~kind:M.Weight_update ~src:origin ~dst:Bstnet.Topology.nil ~birth;
+  m
+
+let get a id =
+  if id < 0 || id >= a.len then invalid_arg "Arena.get: id not allocated";
+  a.slots.(id)
+
+let iter a f =
+  for i = 0 to a.len - 1 do
+    f a.slots.(i)
+  done

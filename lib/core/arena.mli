@@ -1,0 +1,34 @@
+(** Preallocated message slab for the concurrent executor.
+
+    Every message of a run — data and weight-update alike — lives in
+    one growable array of {!Message.t} records, preallocated up front
+    and reinitialized in place on allocation, so the executor's hot
+    path creates no records while injecting or spawning.  A message's
+    id {e is} its slot index, and slots are handed out in allocation
+    order, which reproduces the id sequence an executor minting fresh
+    records would produce.
+
+    Since a data message spawns at most one weight update, a capacity
+    of twice the trace length never grows. *)
+
+type t
+
+val create : capacity:int -> t
+(** A slab of [capacity] (at least 1) blank messages; grows by
+    doubling if exceeded. *)
+
+val length : t -> int
+(** Messages allocated so far (= the next id to be handed out). *)
+
+val alloc_data : t -> src:int -> dst:int -> birth:int -> Message.t
+(** The next slot, reinitialized as a data message. *)
+
+val alloc_update : t -> origin:int -> birth:int -> Message.t
+(** The next slot, reinitialized as a root-bound weight update. *)
+
+val get : t -> int -> Message.t
+(** [get a id] — the allocated message with that id.
+    @raise Invalid_argument when [id] was not allocated. *)
+
+val iter : t -> (Message.t -> unit) -> unit
+(** All allocated messages, in id order. *)

@@ -1,25 +1,6 @@
 module T = Bstnet.Topology
 module M = Message
 
-type state = {
-  config : Config.t;
-  t : T.t;
-  trace : (int * int * int) array;
-  window : int;  (* admission control: max data messages in flight *)
-  sink : Obskit.Sink.t;  (* telemetry; Sink.null compiles to no-ops *)
-  mutable next_inject : int;  (* index into trace *)
-  mutable next_id : int;
-  mutable active : M.t list;  (* undelivered, kept priority-sorted *)
-  mutable finished : M.t list;
-  mutable spawned : M.t list;  (* updates born this round, join next round *)
-  (* Per-round cluster claims: claimed_round.(v) = r when v is locked in
-     round r; claimed_rot.(v) tells whether the claiming step rotates. *)
-  claimed_round : int array;
-  claimed_rot : bool array;
-  mutable live : int;  (* undelivered messages, data + update *)
-  mutable live_data : int;  (* undelivered data messages in flight *)
-}
-
 let validate t trace =
   let n = T.n t in
   let last_birth = ref min_int in
@@ -31,42 +12,49 @@ let validate t trace =
         invalid_arg "Concurrent.run: endpoint out of range")
     trace
 
-let create config ~window ~sink t trace =
-  validate t trace;
-  if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
-  {
-    config;
-    t;
-    trace;
-    window;
-    sink;
-    next_inject = 0;
-    next_id = 0;
-    active = [];
-    finished = [];
-    spawned = [];
-    claimed_round = Array.make (T.n t) (-1);
-    claimed_rot = Array.make (T.n t) false;
-    live = 0;
-    live_data = 0;
-  }
+let default_window t = function Some w -> w | None -> max 64 (T.n t)
 
-let fresh_id st =
-  let id = st.next_id in
-  st.next_id <- st.next_id + 1;
-  id
+(* Steady-state allocation-free executor: all messages live in a
+   preallocated arena (slot index = message id, handed out in the same
+   order the list-based executor minted ids), the undelivered set is
+   an array-backed priority buffer, and every turn fills one reusable
+   plan buffer.  The rhythm of a round is unchanged — newcomers
+   admitted, the whole set visited in (birth, id) order, finished
+   messages dropped — so statistics, telemetry and the final tree are
+   bit-identical to {!Reference}. *)
+type state = {
+  config : Config.t;
+  t : T.t;
+  trace : (int * int * int) array;
+  window : int;  (* admission control: max data messages in flight *)
+  sink : Obskit.Sink.t;  (* telemetry; Sink.null compiles to no-ops *)
+  arena : Arena.t;  (* all messages ever created, by id *)
+  queue : M.t Simkit.Pqueue.t;  (* undelivered, in priority order *)
+  plan : Step.t;  (* the reusable plan buffer *)
+  mutable next_inject : int;  (* index into trace *)
+  (* The spawn callback is allocated once; it reads the round and the
+     parent's birth from these fields instead of capturing them. *)
+  mutable spawn : Protocol.spawn;
+  mutable cur_round : int;
+  mutable cur_birth : int;
+  (* Per-round cluster claims: claimed_round.(v) = r when v is locked in
+     round r; claimed_rot.(v) tells whether the claiming step rotates. *)
+  claimed_round : int array;
+  claimed_rot : bool array;
+  mutable live : int;  (* undelivered messages, data + update *)
+  mutable live_data : int;  (* undelivered data messages in flight *)
+}
 
-let finish st (msg : M.t) ~round =
+let finish st (msg : M.t) =
   msg.M.delivered <- true;
-  msg.M.end_time <- round;
-  st.finished <- msg :: st.finished;
+  msg.M.end_time <- st.cur_round;
   st.live <- st.live - 1;
   if msg.M.kind = M.Data then st.live_data <- st.live_data - 1;
   if Obskit.Sink.enabled st.sink then
     Obskit.Sink.record st.sink (fun () ->
         Obskit.Event.Msg_delivered
           {
-            round;
+            round = st.cur_round;
             msg = msg.M.id;
             data = msg.M.kind = M.Data;
             birth = msg.M.birth;
@@ -79,15 +67,47 @@ let finish st (msg : M.t) ~round =
    birth time (priority): the update is part of serving that request,
    and a freshly-stamped update would be starved forever behind the
    steady stream of older data messages. *)
-let spawner st ~round ~birth ~origin ~first_increment =
+let spawner st ~origin ~first_increment =
   T.add_weight st.t origin first_increment;
-  let u = M.weight_update ~id:(fresh_id st) ~origin ~birth in
+  let u = Arena.alloc_update st.arena ~origin ~birth:st.cur_birth in
   st.live <- st.live + 1;
-  if T.is_root st.t origin then finish st u ~round
-  else st.spawned <- u :: st.spawned
+  if T.is_root st.t origin then finish st u
+  else Simkit.Pqueue.stage st.queue u
+
+let create config ~window ~sink t trace =
+  validate t trace;
+  if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
+  (* Exactly one update per data message, so the arena never grows. *)
+  let capacity = max 16 (2 * Array.length trace) in
+  let dummy = M.data ~id:(-1) ~src:0 ~dst:0 ~birth:0 in
+  let st =
+    {
+      config;
+      t;
+      trace;
+      window;
+      sink;
+      arena = Arena.create ~capacity;
+      queue =
+        Simkit.Pqueue.create
+          ~capacity:(min capacity (4 * window))
+          ~dummy M.priority_compare;
+      plan = Step.buffer ();
+      next_inject = 0;
+      spawn = (fun ~origin:_ ~first_increment:_ -> ());
+      cur_round = 0;
+      cur_birth = 0;
+      claimed_round = Array.make (T.n t) (-1);
+      claimed_rot = Array.make (T.n t) false;
+      live = 0;
+      live_data = 0;
+    }
+  in
+  st.spawn <-
+    (fun ~origin ~first_increment -> spawner st ~origin ~first_increment);
+  st
 
 let inject st ~round =
-  let injected = ref [] in
   let continue_ = ref true in
   while
     !continue_
@@ -98,113 +118,252 @@ let inject st ~round =
     if birth > round then continue_ := false
     else begin
       st.next_inject <- st.next_inject + 1;
-      let msg = M.data ~id:(fresh_id st) ~src ~dst ~birth in
+      let msg = Arena.alloc_data st.arena ~src ~dst ~birth in
       st.live <- st.live + 1;
       st.live_data <- st.live_data + 1;
-      Protocol.born st.t ~spawn:(spawner st ~round ~birth) msg;
-      if msg.M.delivered then finish st msg ~round
-      else injected := msg :: !injected
+      st.cur_birth <- birth;
+      Protocol.born st.t ~spawn:st.spawn msg;
+      if msg.M.delivered then finish st msg
+      else Simkit.Pqueue.stage st.queue msg
     end
-  done;
-  List.rev !injected
+  done
 
-let cluster_conflict st ~round plan =
-  (* Returns [None] when free, [Some was_rotation] describing the
-     already-claimed step we collide with. *)
-  let rec go = function
-    | [] -> None
-    | v :: rest ->
-        if st.claimed_round.(v) = round then Some st.claimed_rot.(v) else go rest
-  in
-  go plan.Step.cluster
+(* Conflict probe, walking the plan's nil-padded cluster fields (nil
+   is tail padding only).  Encoded as an int so the per-turn hot path
+   allocates no option: -1 = free, 0 = loser of a routing step
+   (pause), 1 = loser of a rotation (bypass).  Written without inner
+   closures — the non-flambda compiler would allocate them per call. *)
+let conflict_free = -1
 
-let claim st ~round plan =
-  List.iter
-    (fun v ->
-      st.claimed_round.(v) <- round;
-      st.claimed_rot.(v) <- plan.Step.rotate)
-    plan.Step.cluster
+let cluster_conflict st ~round =
+  let p = st.plan in
+  let v0 = p.Step.cluster0 in
+  if v0 <> T.nil && st.claimed_round.(v0) = round then
+    Bool.to_int st.claimed_rot.(v0)
+  else
+    let v1 = p.Step.cluster1 in
+    if v1 <> T.nil && st.claimed_round.(v1) = round then
+      Bool.to_int st.claimed_rot.(v1)
+    else
+      let v2 = p.Step.cluster2 in
+      if v2 <> T.nil && st.claimed_round.(v2) = round then
+        Bool.to_int st.claimed_rot.(v2)
+      else
+        let v3 = p.Step.cluster3 in
+        if v3 <> T.nil && st.claimed_round.(v3) = round then
+          Bool.to_int st.claimed_rot.(v3)
+        else conflict_free
+
+let claim st ~round =
+  let p = st.plan in
+  let rotate = p.Step.rotate in
+  let v0 = p.Step.cluster0 in
+  if v0 <> T.nil then begin
+    st.claimed_round.(v0) <- round;
+    st.claimed_rot.(v0) <- rotate
+  end;
+  let v1 = p.Step.cluster1 in
+  if v1 <> T.nil then begin
+    st.claimed_round.(v1) <- round;
+    st.claimed_rot.(v1) <- rotate
+  end;
+  let v2 = p.Step.cluster2 in
+  if v2 <> T.nil then begin
+    st.claimed_round.(v2) <- round;
+    st.claimed_rot.(v2) <- rotate
+  end;
+  let v3 = p.Step.cluster3 in
+  if v3 <> T.nil then begin
+    st.claimed_round.(v3) <- round;
+    st.claimed_rot.(v3) <- rotate
+  end
+
+(* Finish a turn whose buffer holds a complete (resolved) plan:
+   conflict test on the final cluster, then claim + apply or record
+   the pause/bypass. *)
+let resolved_turn st ~round ~traced (msg : M.t) =
+  let plan = st.plan in
+  let conflict = cluster_conflict st ~round in
+  if conflict <> conflict_free then begin
+    let was_rotation = conflict = 1 in
+    if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
+    else msg.M.pauses <- msg.M.pauses + 1;
+    if traced then
+      Obskit.Sink.record st.sink (fun () ->
+          Obskit.Event.Conflict
+            {
+              round;
+              msg = msg.M.id;
+              kind =
+                (if was_rotation then Obskit.Event.Bypass
+                 else Obskit.Event.Pause);
+            })
+  end
+  else begin
+    claim st ~round;
+    if traced then
+      Obskit.Sink.record st.sink (fun () ->
+          Obskit.Event.Cluster_claimed
+            {
+              round;
+              msg = msg.M.id;
+              cluster = Step.cluster plan;
+              rotate = plan.Step.rotate;
+            });
+    msg.M.shape_c0 <- M.shape_none;
+    Protocol.apply_step st.t ~spawn:st.spawn msg plan;
+    if traced && plan.Step.rotate then
+      Obskit.Sink.record st.sink (fun () ->
+          Obskit.Event.Rotation
+            {
+              round;
+              msg = msg.M.id;
+              node = plan.Step.current;
+              count = plan.Step.rotations;
+              delta_phi = Step.delta_phi plan;
+            });
+    if msg.M.delivered then finish st msg
+  end
+
+(* Traced turn: full plan up front (Step_planned must carry ΔΦ). *)
+let traced_turn st ~round (msg : M.t) =
+  if Protocol.begin_turn_into st.plan st.config st.t ~spawn:st.spawn msg
+  then begin
+    let plan = st.plan in
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Step_planned
+          {
+            round;
+            msg = msg.M.id;
+            kind = Step.kind_to_string plan.Step.kind;
+            rotate = plan.Step.rotate;
+            delta_phi = Step.delta_phi plan;
+          });
+    resolved_turn st ~round ~traced:true msg
+  end
+  else finish st msg
+
+(* Untraced turn: probe the step's shape first and only evaluate ΔΦ
+   when it can matter.  Under contention most turns pause, and a pause
+   is decidable from the shape alone: the rotation anchor is the only
+   cluster node whose membership depends on ΔΦ, and it sits in {e
+   front} of the cluster when present — so if some core node is
+   already claimed while the anchor is not, the first colliding node
+   (hence the pause/bypass verdict) is the same whether or not the
+   step would rotate, and the plan can be discarded unresolved.  This
+   is outcome-identical to the traced path; the equivalence suite
+   checks it against {!Reference}. *)
+let untraced_probe_turn st ~round (msg : M.t) =
+  if Protocol.begin_turn_probe st.plan st.t ~spawn:st.spawn msg then begin
+    let p = st.plan in
+    (* Refresh the message's shape cache: while the core nodes'
+       structure versions hold and the message does not act, the next
+       turn can skip the probe entirely. *)
+    let c0 = p.Step.cluster0
+    and c1 = p.Step.cluster1
+    and c2 = p.Step.cluster2 in
+    msg.M.shape_c0 <- c0;
+    msg.M.shape_c1 <- c1;
+    msg.M.shape_c2 <- c2;
+    msg.M.shape_anchor <- p.Step.anchor;
+    msg.M.shape_v0 <- T.version st.t c0;
+    msg.M.shape_v1 <- T.version st.t c1;
+    if c2 <> T.nil then msg.M.shape_v2 <- T.version st.t c2;
+    let hit =
+      if st.claimed_round.(c0) = round then c0
+      else if st.claimed_round.(c1) = round then c1
+      else if c2 <> T.nil && st.claimed_round.(c2) = round then c2
+      else T.nil
+    in
+    let anchor = p.Step.anchor in
+    if
+      hit <> T.nil
+      && (anchor = T.nil
+         || st.claimed_round.(anchor) <> round
+         || Bool.equal st.claimed_rot.(anchor) st.claimed_rot.(hit))
+    then begin
+      (* The anchor joins the cluster (in front) only if the step
+         rotates; with the anchor unclaimed — or claimed by the same
+         kind of winner as the first core hit — the verdict is the
+         same either way, so ΔΦ is irrelevant. *)
+      if st.claimed_rot.(hit) then msg.M.bypasses <- msg.M.bypasses + 1
+      else msg.M.pauses <- msg.M.pauses + 1
+    end
+    else begin
+        Step.resolve_into st.plan st.config st.t;
+      resolved_turn st ~round ~traced:false msg
+    end
+  end
+  else finish st msg
+
+let untraced_turn st ~round (msg : M.t) =
+  (* Cached-shape fast path: with the core nodes structurally
+     unchanged since the last probe (and the message not having acted
+     since — acting clears the cache), a re-probe would reproduce the
+     cached shape verbatim and perform no protocol side effects, so
+     the conflict pre-check can run straight off the cache. *)
+  let c0 = msg.M.shape_c0 in
+  if
+    c0 <> M.shape_none
+    && T.version st.t c0 = msg.M.shape_v0
+    && T.version st.t msg.M.shape_c1 = msg.M.shape_v1
+    && (msg.M.shape_c2 = T.nil || T.version st.t msg.M.shape_c2 = msg.M.shape_v2)
+  then begin
+    let hit =
+      if st.claimed_round.(c0) = round then c0
+      else if st.claimed_round.(msg.M.shape_c1) = round then msg.M.shape_c1
+      else if
+        msg.M.shape_c2 <> T.nil && st.claimed_round.(msg.M.shape_c2) = round
+      then msg.M.shape_c2
+      else T.nil
+    in
+    let anchor = msg.M.shape_anchor in
+    if
+      hit <> T.nil
+      && (anchor = T.nil
+         || st.claimed_round.(anchor) <> round
+         || Bool.equal st.claimed_rot.(anchor) st.claimed_rot.(hit))
+    then begin
+      if st.claimed_rot.(hit) then msg.M.bypasses <- msg.M.bypasses + 1
+      else msg.M.pauses <- msg.M.pauses + 1
+    end
+    else begin
+      (* Cluster free (or only the anchor contended): the turn may
+         act, so take the full probe + resolve path. *)
+        Protocol.begin_turn_probe st.plan st.t ~spawn:st.spawn msg |> ignore;
+      Step.resolve_into st.plan st.config st.t;
+      resolved_turn st ~round ~traced:false msg
+    end
+  end
+  else untraced_probe_turn st ~round msg
 
 let tick st round =
+  st.cur_round <- round;
   let traced = Obskit.Sink.enabled st.sink in
   if traced then
     Obskit.Sink.record st.sink (fun () ->
         Obskit.Event.Round_begin
           { round; active = st.live; live_data = st.live_data });
-  (* Newly admitted data messages and updates spawned last round enter
-     the priority list; both batches are small, so sorting them and
-     merging into the already-sorted list keeps the round linear. *)
-  let injected = inject st ~round in
-  let newcomers = List.sort M.priority_compare (st.spawned @ injected) in
-  st.spawned <- [];
-  let by_priority = List.merge M.priority_compare st.active newcomers in
-  let still_active = ref [] in
-  List.iter
-    (fun (msg : M.t) ->
-      if not msg.M.delivered then begin
-        let spawn = spawner st ~round ~birth:msg.M.birth in
-        (match Protocol.begin_turn st.config st.t ~spawn msg with
-        | Protocol.Delivered -> finish st msg ~round
-        | Protocol.Plan plan -> (
-            if traced then
-              Obskit.Sink.record st.sink (fun () ->
-                  Obskit.Event.Step_planned
-                    {
-                      round;
-                      msg = msg.M.id;
-                      kind = Step.kind_to_string plan.Step.kind;
-                      rotate = plan.Step.rotate;
-                      delta_phi = plan.Step.delta_phi;
-                    });
-            match cluster_conflict st ~round plan with
-            | Some was_rotation ->
-                if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
-                else msg.M.pauses <- msg.M.pauses + 1;
-                if traced then
-                  Obskit.Sink.record st.sink (fun () ->
-                      Obskit.Event.Conflict
-                        {
-                          round;
-                          msg = msg.M.id;
-                          kind =
-                            (if was_rotation then Obskit.Event.Bypass
-                             else Obskit.Event.Pause);
-                        })
-            | None ->
-                claim st ~round plan;
-                if traced then
-                  Obskit.Sink.record st.sink (fun () ->
-                      Obskit.Event.Cluster_claimed
-                        {
-                          round;
-                          msg = msg.M.id;
-                          cluster = plan.Step.cluster;
-                          rotate = plan.Step.rotate;
-                        });
-                Protocol.apply_step st.t ~spawn msg plan;
-                if traced && plan.Step.rotate then
-                  Obskit.Sink.record st.sink (fun () ->
-                      Obskit.Event.Rotation
-                        {
-                          round;
-                          msg = msg.M.id;
-                          node = plan.Step.current;
-                          count = plan.Step.rotations;
-                          delta_phi = plan.Step.delta_phi;
-                        });
-                if msg.M.delivered then finish st msg ~round));
-        if not msg.M.delivered then still_active := msg :: !still_active
-      end)
-    by_priority;
-  st.active <- List.rev !still_active;
+  (* Newly admitted data messages join the staged batch alongside the
+     updates spawned last round; one stable merge brings both into the
+     priority buffer for this round. *)
+  inject st ~round;
+  Simkit.Pqueue.commit st.queue;
+  Simkit.Pqueue.iter_filter st.queue (fun (msg : M.t) ->
+      if msg.M.delivered then false
+      else begin
+        st.cur_birth <- msg.M.birth;
+        if traced then traced_turn st ~round msg
+        else untraced_turn st ~round msg;
+        not msg.M.delivered
+      end);
   (* Φ is O(n) to compute, so it is sampled only on traced runs. *)
   if traced then
     Obskit.Sink.record st.sink (fun () ->
         Obskit.Event.Phi_sample { round; phi = Potential.phi st.t })
 
-let scheduler ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t
-    trace =
-  let window = match window with Some w -> w | None -> max 64 (T.n t) in
+let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t trace =
+  let window = default_window t window in
   let st = create config ~window ~sink t trace in
   let sched =
     {
@@ -215,34 +374,258 @@ let scheduler ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t
     }
   in
   let finalize rounds =
-    Run_stats.of_messages ~config ~rounds (st.finished @ st.active)
+    Run_stats.of_iter ~config ~rounds (fun f -> Arena.iter st.arena f)
   in
+  (st, sched, finalize)
+
+let scheduler ?config ?window ?sink t trace =
+  let _, sched, finalize = make ?config ?window ?sink t trace in
   (sched, finalize)
 
-let run ?(config = Config.default) ?window ?max_rounds ?sink t trace =
-  let sched, finalize = scheduler ~config ?window ?sink t trace in
+let run ?config ?window ?max_rounds ?sink t trace =
+  let sched, finalize = scheduler ?config ?window ?sink t trace in
   let rounds = Simkit.Engine.run_exn ?max_rounds sched in
   finalize rounds
 
-let run_with_latencies ?(config = Config.default) ?window ?max_rounds
-    ?(sink = Obskit.Sink.null) t trace =
-  let window = match window with Some w -> w | None -> max 64 (T.n t) in
-  let st = create config ~window ~sink t trace in
-  let sched =
-    {
-      Simkit.Engine.label = "cbn";
-      tick = (fun round -> tick st round);
-      is_done = (fun () -> st.next_inject >= Array.length st.trace && st.live = 0);
-    }
-  in
+let run_with_latencies ?config ?window ?max_rounds ?sink t trace =
+  let st, sched, finalize = make ?config ?window ?sink t trace in
   let rounds = Simkit.Engine.run_exn ?max_rounds sched in
-  let latencies =
-    List.filter_map
+  let stats = finalize rounds in
+  let count = ref 0 in
+  Arena.iter st.arena (fun m ->
+      if m.M.kind = M.Data && m.M.delivered then incr count);
+  let latencies = Array.make !count 0.0 in
+  let i = ref 0 in
+  Arena.iter st.arena (fun m ->
+      if m.M.kind = M.Data && m.M.delivered then begin
+        latencies.(!i) <- float_of_int (m.M.end_time - m.M.birth);
+        incr i
+      end);
+  (stats, latencies)
+
+(* The original list-based executor, kept verbatim as an executable
+   specification: the equivalence test suite checks the arena/pqueue
+   executor against it event for event, and [bench perf] times the two
+   side by side.  Deliberately not refactored to share the round loop
+   above — its value is being the independent implementation. *)
+module Reference = struct
+  type rstate = {
+    config : Config.t;
+    t : T.t;
+    trace : (int * int * int) array;
+    window : int;
+    sink : Obskit.Sink.t;
+    mutable next_inject : int;
+    mutable next_id : int;
+    mutable active : M.t list;  (* undelivered, kept priority-sorted *)
+    mutable finished : M.t list;
+    mutable spawned : M.t list;  (* updates born this round, join next round *)
+    claimed_round : int array;
+    claimed_rot : bool array;
+    mutable live : int;
+    mutable live_data : int;
+  }
+
+  let create config ~window ~sink t trace =
+    validate t trace;
+    if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
+    {
+      config;
+      t;
+      trace;
+      window;
+      sink;
+      next_inject = 0;
+      next_id = 0;
+      active = [];
+      finished = [];
+      spawned = [];
+      claimed_round = Array.make (T.n t) (-1);
+      claimed_rot = Array.make (T.n t) false;
+      live = 0;
+      live_data = 0;
+    }
+
+  let fresh_id st =
+    let id = st.next_id in
+    st.next_id <- st.next_id + 1;
+    id
+
+  let finish st (msg : M.t) ~round =
+    msg.M.delivered <- true;
+    msg.M.end_time <- round;
+    st.finished <- msg :: st.finished;
+    st.live <- st.live - 1;
+    if msg.M.kind = M.Data then st.live_data <- st.live_data - 1;
+    if Obskit.Sink.enabled st.sink then
+      Obskit.Sink.record st.sink (fun () ->
+          Obskit.Event.Msg_delivered
+            {
+              round;
+              msg = msg.M.id;
+              data = msg.M.kind = M.Data;
+              birth = msg.M.birth;
+              hops = msg.M.hops;
+              rotations = msg.M.rotations;
+            })
+
+  let spawner st ~round ~birth ~origin ~first_increment =
+    T.add_weight st.t origin first_increment;
+    let u = M.weight_update ~id:(fresh_id st) ~origin ~birth in
+    st.live <- st.live + 1;
+    if T.is_root st.t origin then finish st u ~round
+    else st.spawned <- u :: st.spawned
+
+  let inject st ~round =
+    let injected = ref [] in
+    let continue_ = ref true in
+    while
+      !continue_
+      && st.next_inject < Array.length st.trace
+      && st.live_data < st.window
+    do
+      let birth, src, dst = st.trace.(st.next_inject) in
+      if birth > round then continue_ := false
+      else begin
+        st.next_inject <- st.next_inject + 1;
+        let msg = M.data ~id:(fresh_id st) ~src ~dst ~birth in
+        st.live <- st.live + 1;
+        st.live_data <- st.live_data + 1;
+        Protocol.born st.t ~spawn:(spawner st ~round ~birth) msg;
+        if msg.M.delivered then finish st msg ~round
+        else injected := msg :: !injected
+      end
+    done;
+    List.rev !injected
+
+  let cluster_conflict st ~round plan =
+    let rec go = function
+      | [] -> None
+      | v :: rest ->
+          if st.claimed_round.(v) = round then Some st.claimed_rot.(v)
+          else go rest
+    in
+    go (Step.cluster plan)
+
+  let claim st ~round plan =
+    List.iter
+      (fun v ->
+        st.claimed_round.(v) <- round;
+        st.claimed_rot.(v) <- plan.Step.rotate)
+      (Step.cluster plan)
+
+  let tick st round =
+    let traced = Obskit.Sink.enabled st.sink in
+    if traced then
+      Obskit.Sink.record st.sink (fun () ->
+          Obskit.Event.Round_begin
+            { round; active = st.live; live_data = st.live_data });
+    let injected = inject st ~round in
+    let newcomers = List.sort M.priority_compare (st.spawned @ injected) in
+    st.spawned <- [];
+    let by_priority = List.merge M.priority_compare st.active newcomers in
+    let still_active = ref [] in
+    List.iter
       (fun (msg : M.t) ->
-        match msg.M.kind with
-        | M.Data -> Some (float_of_int (msg.M.end_time - msg.M.birth))
-        | M.Weight_update -> None)
-      st.finished
-    |> Array.of_list
-  in
-  (Run_stats.of_messages ~config ~rounds st.finished, latencies)
+        if not msg.M.delivered then begin
+          let spawn = spawner st ~round ~birth:msg.M.birth in
+          (match Protocol.begin_turn st.config st.t ~spawn msg with
+          | Protocol.Delivered -> finish st msg ~round
+          | Protocol.Plan plan -> (
+              if traced then
+                Obskit.Sink.record st.sink (fun () ->
+                    Obskit.Event.Step_planned
+                      {
+                        round;
+                        msg = msg.M.id;
+                        kind = Step.kind_to_string plan.Step.kind;
+                        rotate = plan.Step.rotate;
+                        delta_phi = Step.delta_phi plan;
+                      });
+              match cluster_conflict st ~round plan with
+              | Some was_rotation ->
+                  if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
+                  else msg.M.pauses <- msg.M.pauses + 1;
+                  if traced then
+                    Obskit.Sink.record st.sink (fun () ->
+                        Obskit.Event.Conflict
+                          {
+                            round;
+                            msg = msg.M.id;
+                            kind =
+                              (if was_rotation then Obskit.Event.Bypass
+                               else Obskit.Event.Pause);
+                          })
+              | None ->
+                  claim st ~round plan;
+                  if traced then
+                    Obskit.Sink.record st.sink (fun () ->
+                        Obskit.Event.Cluster_claimed
+                          {
+                            round;
+                            msg = msg.M.id;
+                            cluster = Step.cluster plan;
+                            rotate = plan.Step.rotate;
+                          });
+                  Protocol.apply_step st.t ~spawn msg plan;
+                  if traced && plan.Step.rotate then
+                    Obskit.Sink.record st.sink (fun () ->
+                        Obskit.Event.Rotation
+                          {
+                            round;
+                            msg = msg.M.id;
+                            node = plan.Step.current;
+                            count = plan.Step.rotations;
+                            delta_phi = Step.delta_phi plan;
+                          });
+                  if msg.M.delivered then finish st msg ~round));
+          if not msg.M.delivered then still_active := msg :: !still_active
+        end)
+      by_priority;
+    st.active <- List.rev !still_active;
+    if traced then
+      Obskit.Sink.record st.sink (fun () ->
+          Obskit.Event.Phi_sample { round; phi = Potential.phi st.t })
+
+  let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t
+      trace =
+    let window = default_window t window in
+    let st = create config ~window ~sink t trace in
+    let sched =
+      {
+        Simkit.Engine.label = "cbn-ref";
+        tick = (fun round -> tick st round);
+        is_done =
+          (fun () -> st.next_inject >= Array.length st.trace && st.live = 0);
+      }
+    in
+    let finalize rounds =
+      Run_stats.of_messages ~config ~rounds (st.finished @ st.active)
+    in
+    (st, sched, finalize)
+
+  let scheduler ?config ?window ?sink t trace =
+    let _, sched, finalize = make ?config ?window ?sink t trace in
+    (sched, finalize)
+
+  let run ?config ?window ?max_rounds ?sink t trace =
+    let sched, finalize = scheduler ?config ?window ?sink t trace in
+    let rounds = Simkit.Engine.run_exn ?max_rounds sched in
+    finalize rounds
+
+  let run_with_latencies ?config ?window ?max_rounds ?sink t trace =
+    let st, sched, finalize = make ?config ?window ?sink t trace in
+    let rounds = Simkit.Engine.run_exn ?max_rounds sched in
+    let stats = finalize rounds in
+    let latencies =
+      List.filter_map
+        (fun (msg : M.t) ->
+          match msg.M.kind with
+          | M.Data when msg.M.delivered ->
+              Some (float_of_int (msg.M.end_time - msg.M.birth))
+          | _ -> None)
+        (st.finished @ st.active)
+      |> Array.of_list
+    in
+    (stats, latencies)
+end

@@ -12,7 +12,14 @@
 
     Unlike DiSplayNet, the source and destination nodes are never
     locked for the lifetime of a request: nodes are only ever claimed
-    for the single round in which a step touches them. *)
+    for the single round in which a step touches them.
+
+    The executor is allocation-free in steady state: messages live in
+    a preallocated {!Arena}, the undelivered set is an array-backed
+    {!Simkit.Pqueue}, and step planning fills one reusable
+    {!Step.buffer}.  {!Reference} keeps the original list-based round
+    loop as an executable specification; the two produce bit-identical
+    statistics, telemetry payloads and final trees. *)
 
 val run :
   ?config:Config.t ->
@@ -54,7 +61,8 @@ val run_with_latencies :
   Run_stats.t * float array
 (** Like {!run}, additionally returning each data message's delivery
     latency (rounds from birth to delivery, source queueing included)
-    for distribution analyses. *)
+    for distribution analyses.  Latencies are in message-id (creation)
+    order; distribution consumers sort or summarize anyway. *)
 
 val scheduler :
   ?config:Config.t ->
@@ -65,4 +73,44 @@ val scheduler :
   Simkit.Engine.scheduler * (int -> Run_stats.t)
 (** Lower-level access for embedding in a larger simulation: returns
     the engine scheduler plus a finalizer producing the statistics
-    given the executed round count. *)
+    given the executed round count.  The finalizer folds over {e all}
+    messages created so far (delivered or not), so it is meaningful
+    after a truncated embedding too. *)
+
+(** The original list-based round loop, kept verbatim as the
+    executable specification of the executor above: per-round
+    [List.sort]/[List.merge] of freshly-allocated message records and
+    list-valued clusters.  The equivalence test suite checks the two
+    against each other event for event, and [bench perf] times them
+    side by side.  Semantics and results are identical; only the
+    machine profile differs. *)
+module Reference : sig
+  val run :
+    ?config:Config.t ->
+    ?window:int ->
+    ?max_rounds:int ->
+    ?sink:Obskit.Sink.t ->
+    Bstnet.Topology.t ->
+    (int * int * int) array ->
+    Run_stats.t
+
+  val run_with_latencies :
+    ?config:Config.t ->
+    ?window:int ->
+    ?max_rounds:int ->
+    ?sink:Obskit.Sink.t ->
+    Bstnet.Topology.t ->
+    (int * int * int) array ->
+    Run_stats.t * float array
+  (** Latencies are in reverse delivery order (the finish list is a
+      cons stack); compare against {!Concurrent.run_with_latencies}
+      after sorting. *)
+
+  val scheduler :
+    ?config:Config.t ->
+    ?window:int ->
+    ?sink:Obskit.Sink.t ->
+    Bstnet.Topology.t ->
+    (int * int * int) array ->
+    Simkit.Engine.scheduler * (int -> Run_stats.t)
+end

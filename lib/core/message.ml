@@ -3,10 +3,10 @@ type phase = Climbing | Descending
 
 type t = {
   id : int;
-  kind : kind;
-  src : int;
-  dst : int;
-  birth : int;
+  mutable kind : kind;
+  mutable src : int;
+  mutable dst : int;
+  mutable birth : int;
   mutable current : int;
   mutable phase : phase;
   mutable up_credit : int;
@@ -18,7 +18,20 @@ type t = {
   mutable steps : int;
   mutable pauses : int;
   mutable bypasses : int;
+  (* Step-shape cache for the concurrent executor's untraced fast
+     path: the last probed core cluster + anchor and the structure
+     versions of the core nodes at probe time (see
+     Bstnet.Topology.version).  shape_c0 = -2 means empty. *)
+  mutable shape_c0 : int;
+  mutable shape_c1 : int;
+  mutable shape_c2 : int;
+  mutable shape_anchor : int;
+  mutable shape_v0 : int;
+  mutable shape_v1 : int;
+  mutable shape_v2 : int;
 }
+
+let shape_none = -2
 
 let make ~id ~kind ~src ~dst ~birth =
   {
@@ -38,7 +51,32 @@ let make ~id ~kind ~src ~dst ~birth =
     steps = 0;
     pauses = 0;
     bypasses = 0;
+    shape_c0 = shape_none;
+    shape_c1 = Bstnet.Topology.nil;
+    shape_c2 = Bstnet.Topology.nil;
+    shape_anchor = Bstnet.Topology.nil;
+    shape_v0 = 0;
+    shape_v1 = 0;
+    shape_v2 = 0;
   }
+
+let reinit m ~kind ~src ~dst ~birth =
+  m.kind <- kind;
+  m.src <- src;
+  m.dst <- dst;
+  m.birth <- birth;
+  m.current <- src;
+  m.phase <- Climbing;
+  m.up_credit <- Bstnet.Topology.nil;
+  m.update_spawned <- false;
+  m.delivered <- false;
+  m.end_time <- -1;
+  m.hops <- 0;
+  m.rotations <- 0;
+  m.steps <- 0;
+  m.pauses <- 0;
+  m.bypasses <- 0;
+  m.shape_c0 <- shape_none
 
 let data ~id ~src ~dst ~birth = make ~id ~kind:Data ~src ~dst ~birth
 

@@ -14,10 +14,12 @@ type phase =
 
 type t = {
   id : int;  (** Unique; breaks priority ties deterministically. *)
-  kind : kind;
-  src : int;
-  dst : int;  (** [Bstnet.Topology.nil] for weight updates (root-bound). *)
-  birth : int;  (** Time slot of generation; the priority of Sec. VII. *)
+  mutable kind : kind;
+  mutable src : int;
+  mutable dst : int;
+      (** [Bstnet.Topology.nil] for weight updates (root-bound). *)
+  mutable birth : int;
+      (** Time slot of generation; the priority of Sec. VII. *)
   mutable current : int;
   mutable phase : phase;
   mutable up_credit : int;
@@ -34,10 +36,35 @@ type t = {
   mutable steps : int;
   mutable pauses : int;  (** Conflicts suffered where the winner routed. *)
   mutable bypasses : int;  (** Conflicts suffered where the winner rotated. *)
+  mutable shape_c0 : int;
+  mutable shape_c1 : int;
+  mutable shape_c2 : int;
+  mutable shape_anchor : int;
+  mutable shape_v0 : int;
+  mutable shape_v1 : int;
+  mutable shape_v2 : int;
+      (** Step-shape cache owned by [Concurrent]'s untraced fast path:
+          the last probed core cluster nodes + rotation anchor
+          ([nil]-padded) and the {!Bstnet.Topology.version} stamps of
+          the core nodes at probe time.  While every stamped version
+          is unchanged and the message has not acted, re-probing would
+          reproduce exactly this shape, so the turn's conflict
+          pre-check can run straight off the cache.
+          [shape_c0 = {!shape_none}] marks an empty cache. *)
 }
+
+val shape_none : int
+(** Sentinel for [shape_c0]: no cached shape (distinct from [nil],
+    which is legitimate tail padding in [shape_c1]/[shape_c2]). *)
 
 val data : id:int -> src:int -> dst:int -> birth:int -> t
 val weight_update : id:int -> origin:int -> birth:int -> t
+
+val reinit : t -> kind:kind -> src:int -> dst:int -> birth:int -> unit
+(** Reset a record to the state [data]/[weight_update] would build
+    (keeping its [id]), for preallocated-slot reuse in {!Arena}.  The
+    identity fields are mutable only to support this; once a message
+    is in flight they must not change. *)
 
 val priority_compare : t -> t -> int
 (** Earlier birth first, then smaller id — the total order used for

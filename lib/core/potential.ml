@@ -2,9 +2,33 @@ module T = Bstnet.Topology
 
 let log2 = Float.log2
 
-let rank w = if w <= 1 then 0.0 else log2 (float_of_int w)
+(* Weights are message counters, so the vast majority stay small; a
+   one-time table of log2 values makes [rank] a single array read on
+   the executor's hot path.  Entries are produced by the same
+   [Float.log2] call as the fallback, so table hits are bit-identical
+   to direct computation. *)
+let table_size = 1 lsl 16
 
-let node_rank t v = rank (T.weight t v)
+let table =
+  Array.init table_size (fun w -> if w <= 1 then 0.0 else log2 (float_of_int w))
+
+let rank w =
+  if w <= 1 then 0.0
+  else if w < table_size then Array.unsafe_get table w
+  else log2 (float_of_int w)
+
+(* Node ranks are additionally memoized in the topology's per-node
+   slot: between weight changes a node's rank is read many times (each
+   neighbour's ΔΦ prediction touches it), and [Topology] invalidates
+   the slot on every weight mutation. *)
+let node_rank t v =
+  let r = T.rank_memo t v in
+  if r >= 0.0 then r
+  else begin
+    let r = rank (T.weight t v) in
+    T.set_rank_memo t v r;
+    r
+  end
 
 let phi t =
   let acc = ref 0.0 in
@@ -25,7 +49,7 @@ let delta_promote t c =
   let wp' = T.weight t p - T.weight t c + weight_opt t (transferred_child t c) in
   (* c inherits p's total weight, so its rank change cancels p's old
      rank; only the demoted parent's new rank matters. *)
-  rank wp' -. rank (T.weight t c)
+  rank wp' -. node_rank t c
 
 let delta_double_promote t c =
   let p = T.parent t c in
@@ -38,4 +62,4 @@ let delta_double_promote t c =
   let t2 = if t1 = T.left t c then T.right t c else T.left t c in
   let wp' = T.weight t p - T.weight t c + weight_opt t t1 in
   let wg' = T.weight t g - T.weight t p + weight_opt t t2 in
-  rank wp' +. rank wg' -. rank (T.weight t c) -. rank (T.weight t p)
+  rank wp' +. rank wg' -. node_rank t c -. node_rank t p

@@ -10,9 +10,14 @@
     functions. *)
 
 val rank : int -> float
-(** [rank w = log2 w], and [0.] for [w <= 1]. *)
+(** [rank w = log2 w], and [0.] for [w <= 1].  Served from a
+    precomputed table for [w < 2^16] (bit-identical to the direct
+    [Float.log2] computation); larger weights fall back to it. *)
 
 val node_rank : Bstnet.Topology.t -> int -> float
+(** [rank] of the node's current weight, memoized in the topology's
+    {!Bstnet.Topology.rank_memo} slot; any weight mutation of the node
+    invalidates the memo, so the value is always exact. *)
 
 val phi : Bstnet.Topology.t -> float
 (** Global potential [Φ(T)] — O(n), for analysis and tests only; the

@@ -40,11 +40,14 @@ let born t ~spawn (msg : M.t) =
           flip_at_lca t msg ~spawn;
           msg.delivered <- true)
 
-let begin_turn config t ~spawn (msg : M.t) =
+let begin_turn_probe buf t ~spawn (msg : M.t) =
   match msg.kind with
   | M.Weight_update ->
-      if T.is_root t msg.current then Delivered
-      else Plan (Step.plan_up config t ~current:msg.current ~dst:T.nil)
+      if T.is_root t msg.current then false
+      else begin
+        Step.probe_up_into buf t ~current:msg.current ~dst:T.nil;
+        true
+      end
   | M.Data -> (
       match T.direction_to t ~src:msg.current ~dst:msg.dst with
       | T.Here ->
@@ -53,16 +56,29 @@ let begin_turn config t ~spawn (msg : M.t) =
              position — impossible for distinct keys — or defensively
              after delivery races; treat as LCA + delivery. *)
           if msg.phase = M.Climbing then flip_at_lca t msg ~spawn;
-          Delivered
+          false
       | T.Up ->
           (* A bypass may have evicted the destination from the current
              subtree mid-descent: resume climbing (the update message,
              if already sent, is not re-sent). *)
           if msg.phase = M.Descending then msg.phase <- M.Climbing;
-          Plan (Step.plan_up config t ~current:msg.current ~dst:msg.dst)
+          Step.probe_up_into buf t ~current:msg.current ~dst:msg.dst;
+          true
       | T.Down_left | T.Down_right ->
           if msg.phase = M.Climbing then flip_at_lca t msg ~spawn;
-          Plan (Step.plan_down config t ~current:msg.current ~dst:msg.dst))
+          Step.probe_down_into buf t ~current:msg.current ~dst:msg.dst;
+          true)
+
+let begin_turn_into buf config t ~spawn (msg : M.t) =
+  if begin_turn_probe buf t ~spawn msg then begin
+    Step.resolve_into buf config t;
+    true
+  end
+  else false
+
+let begin_turn config t ~spawn (msg : M.t) =
+  let buf = Step.buffer () in
+  if begin_turn_into buf config t ~spawn msg then Plan buf else Delivered
 
 (* Apply the arrival bookkeeping for one node the message crossed. *)
 let cross t ~spawn (msg : M.t) w =
@@ -89,6 +105,14 @@ let cross t ~spawn (msg : M.t) w =
               flip_at_lca t msg ~spawn;
               msg.delivered <- true))
 
+(* Walk the plan's (nil-padded) passed fields in travel order without
+   materializing a list. *)
+let cross_passed t ~spawn msg (plan : Step.t) =
+  if plan.Step.passed0 <> T.nil then begin
+    cross t ~spawn msg plan.Step.passed0;
+    if plan.Step.passed1 <> T.nil then cross t ~spawn msg plan.Step.passed1
+  end
+
 let apply_step t ~spawn (msg : M.t) (plan : Step.t) =
   (* A top-down rotation can promote the crossed node(s) over the
      standing root; their +1 counter deposits belong to the
@@ -98,12 +122,12 @@ let apply_step t ~spawn (msg : M.t) (plan : Step.t) =
     plan.Step.rotate && msg.phase = M.Descending
     && T.is_root t plan.Step.current
   in
-  if pre_increment then List.iter (cross t ~spawn msg) plan.Step.passed;
+  if pre_increment then cross_passed t ~spawn msg plan;
   Step.execute t plan;
   msg.steps <- msg.steps + 1;
   msg.hops <- msg.hops + plan.Step.hops;
   msg.rotations <- msg.rotations + plan.Step.rotations;
-  if not pre_increment then List.iter (cross t ~spawn msg) plan.Step.passed;
+  if not pre_increment then cross_passed t ~spawn msg plan;
   msg.current <- plan.Step.new_current;
   if msg.kind = M.Weight_update && T.is_root t msg.current then
     msg.delivered <- true

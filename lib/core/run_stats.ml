@@ -13,7 +13,7 @@ type t = {
   rounds : int;
 }
 
-let of_messages ~config ~rounds msgs =
+let of_iter ~config ~rounds iter =
   let messages = ref 0 in
   let hops = ref 0 in
   let rotations = ref 0 in
@@ -23,8 +23,7 @@ let of_messages ~config ~rounds msgs =
   let updates = ref 0 in
   let first_birth = ref max_int in
   let last_end = ref 0 in
-  List.iter
-    (fun (m : Message.t) ->
+  iter (fun (m : Message.t) ->
       hops := !hops + m.hops;
       rotations := !rotations + m.rotations;
       steps := !steps + m.steps;
@@ -35,8 +34,7 @@ let of_messages ~config ~rounds msgs =
           incr messages;
           if m.birth < !first_birth then first_birth := m.birth;
           if m.end_time > !last_end then last_end := m.end_time
-      | Message.Weight_update -> incr updates)
-    msgs;
+      | Message.Weight_update -> incr updates);
   let routing_cost = !hops + !messages in
   let makespan = if !messages = 0 then 0 else max 1 (!last_end - !first_birth) in
   {
@@ -56,6 +54,9 @@ let of_messages ~config ~rounds msgs =
     update_messages = !updates;
     rounds;
   }
+
+let of_messages ~config ~rounds msgs =
+  of_iter ~config ~rounds (fun f -> List.iter f msgs)
 
 let pp fmt t =
   Format.fprintf fmt

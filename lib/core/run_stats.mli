@@ -18,11 +18,18 @@ type t = {
   rounds : int;  (** Rounds until full quiescence (updates drained). *)
 }
 
+val of_iter :
+  config:Config.t -> rounds:int -> ((Message.t -> unit) -> unit) -> t
+(** Fold delivered messages into the aggregate, visiting them through
+    the given iterator (e.g. {!Arena.iter} partially applied) — every
+    accumulation is order-independent, so any visit order produces the
+    same result.  Data messages contribute to [routing_cost]'s +1 term
+    and to the makespan; update messages contribute hops and rotations
+    only. *)
+
 val of_messages :
   config:Config.t -> rounds:int -> Message.t list -> t
-(** Fold delivered messages into the aggregate.  Data messages
-    contribute to [routing_cost]'s +1 term and to the makespan;
-    update messages contribute hops and rotations only. *)
+(** {!of_iter} over a list. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line [key=value] rendering.  Every field is printed even when

@@ -36,7 +36,7 @@ let drive ~sink ~round config t ~spawn msg =
                   msg = msg.M.id;
                   kind = Step.kind_to_string plan.Step.kind;
                   rotate = plan.Step.rotate;
-                  delta_phi = plan.Step.delta_phi;
+                  delta_phi = Step.delta_phi plan;
                 });
         Protocol.apply_step t ~spawn msg plan;
         if traced && plan.Step.rotate then
@@ -47,7 +47,7 @@ let drive ~sink ~round config t ~spawn msg =
                   msg = msg.M.id;
                   node = plan.Step.current;
                   count = plan.Step.rotations;
-                  delta_phi = plan.Step.delta_phi;
+                  delta_phi = Step.delta_phi plan;
                 })
   done
 

@@ -1,7 +1,8 @@
-type t = BT | OPT | SN | DSN | SCBN | CBN
+type t = BT | OPT | SN | DSN | SCBN | CBN | CBN_REF
 
 let all = [ BT; OPT; SN; DSN; SCBN; CBN ]
 let dynamic = [ SN; DSN; SCBN; CBN ]
+let perf_pair = [ CBN; CBN_REF ]
 
 let name = function
   | BT -> "BT"
@@ -10,6 +11,7 @@ let name = function
   | DSN -> "DSN"
   | SCBN -> "SCBN"
   | CBN -> "CBN"
+  | CBN_REF -> "CBN-ref"
 
 let of_name s =
   match String.uppercase_ascii s with
@@ -19,10 +21,11 @@ let of_name s =
   | "DSN" -> DSN
   | "SCBN" -> SCBN
   | "CBN" | "CBNET" -> CBN
+  | "CBN-REF" | "CBNREF" -> CBN_REF
   | _ -> invalid_arg (Printf.sprintf "Algo.of_name: unknown algorithm %S" s)
 
 let is_static = function BT | OPT -> true | _ -> false
-let is_concurrent = function DSN | CBN -> true | _ -> false
+let is_concurrent = function DSN | CBN | CBN_REF -> true | _ -> false
 
 let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
     algo trace =
@@ -36,3 +39,6 @@ let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
   | SCBN -> Cbnet.Sequential.run ~config ~sink (Bstnet.Build.balanced n) runs
   | CBN ->
       Cbnet.Concurrent.run ~config ?window ~sink (Bstnet.Build.balanced n) runs
+  | CBN_REF ->
+      Cbnet.Concurrent.Reference.run ~config ?window ~sink
+        (Bstnet.Build.balanced n) runs

@@ -8,10 +8,20 @@ type t =
   | DSN  (** DiSplayNet, concurrent. *)
   | SCBN  (** CBNet, sequential (Algorithm 1). *)
   | CBN  (** CBNet, concurrent (Sec. VII). *)
+  | CBN_REF
+      (** The list-based reference twin of CBN
+          ({!Cbnet.Concurrent.Reference}) — identical results, original
+          allocation profile; [bench perf] times it against CBN.  Not
+          part of {!all}: it adds nothing to the paper's matrix. *)
 
 val all : t list
 val dynamic : t list
 (** The four self-adjusting algorithms (Fig. 4 excludes BT and OPT). *)
+
+val perf_pair : t list
+(** The algorithms timed by the [bench perf] throughput
+    microbenchmark: the concurrent CBNet executor (and, when present,
+    its list-based reference twin). *)
 
 val name : t -> string
 val of_name : string -> t

@@ -2,6 +2,7 @@ type measurement = {
   algo : Algo.t;
   workload : string;
   seeds : int;
+  messages : Simkit.Stats.summary;
   routing : Simkit.Stats.summary;
   rotations : Simkit.Stats.summary;
   work : Simkit.Stats.summary;
@@ -56,6 +57,7 @@ let collect ?pool n f =
    per-seed samples, so the parallel and sequential paths produce
    bit-identical summaries (Welford accumulation is order-sensitive). *)
 let aggregate ~workload ~algo ~seeds per_seed =
+  let messages = Simkit.Stats.create () in
   let routing = Simkit.Stats.create () in
   let rounds = Simkit.Stats.create () in
   let rotations = Simkit.Stats.create () in
@@ -66,6 +68,7 @@ let aggregate ~workload ~algo ~seeds per_seed =
   let bypasses = Simkit.Stats.create () in
   Array.iter
     (fun (stats : Cbnet.Run_stats.t) ->
+      Simkit.Stats.add messages (float_of_int stats.Cbnet.Run_stats.messages);
       Simkit.Stats.add routing (float_of_int stats.Cbnet.Run_stats.routing_cost);
       Simkit.Stats.add rotations (float_of_int stats.Cbnet.Run_stats.rotations);
       Simkit.Stats.add work stats.Cbnet.Run_stats.work;
@@ -79,6 +82,7 @@ let aggregate ~workload ~algo ~seeds per_seed =
     algo;
     workload;
     seeds;
+    messages = Simkit.Stats.summary messages;
     routing = Simkit.Stats.summary routing;
     rotations = Simkit.Stats.summary rotations;
     work = Simkit.Stats.summary work;

@@ -12,6 +12,7 @@ type measurement = {
   algo : Algo.t;
   workload : string;
   seeds : int;
+  messages : Simkit.Stats.summary;  (** Delivered data messages m. *)
   routing : Simkit.Stats.summary;  (** Routing cost D (Def. 1). *)
   rotations : Simkit.Stats.summary;  (** Rotation count Σρ. *)
   work : Simkit.Stats.summary;  (** Total work C. *)

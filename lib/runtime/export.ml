@@ -66,14 +66,25 @@ let bench_json ~commit ~timestamp cells path =
       List.iteri
         (fun i ((c : Experiment.measurement), wall_seconds) ->
           if i > 0 then output_string oc ",";
+          (* Simulator-throughput rates: totals across all seeds of the
+             cell divided by the cell's wall clock, so artifacts from
+             different commits are comparable as rounds/sec trends. *)
+          let rate total =
+            if wall_seconds > 0.0 then total /. wall_seconds else 0.0
+          in
+          let msgs = c.Experiment.messages.Simkit.Stats.total in
+          let hops = c.Experiment.routing.Simkit.Stats.total -. msgs in
           Printf.fprintf oc
             "\n    {\"workload\": \"%s\", \"algo\": \"%s\", \"seeds\": %d, \
-             \"work\": %s, \"makespan\": %s, \"throughput\": %s, \
-             \"rotations\": %s, \"pauses\": %s, \"bypasses\": %s, \
-             \"rounds\": %s, \"wall_seconds\": %s}"
+             \"messages\": %s, \"work\": %s, \"makespan\": %s, \
+             \"throughput\": %s, \"rotations\": %s, \"pauses\": %s, \
+             \"bypasses\": %s, \"rounds\": %s, \"wall_seconds\": %s, \
+             \"rounds_per_sec\": %s, \"msgs_per_sec\": %s, \
+             \"hops_per_sec\": %s}"
             (json_escape c.Experiment.workload)
             (json_escape (Algo.name c.Experiment.algo))
             c.Experiment.seeds
+            (json_float c.Experiment.messages.Simkit.Stats.mean)
             (json_float c.Experiment.work.Simkit.Stats.mean)
             (json_float c.Experiment.makespan.Simkit.Stats.mean)
             (json_float c.Experiment.throughput.Simkit.Stats.mean)
@@ -81,7 +92,10 @@ let bench_json ~commit ~timestamp cells path =
             (json_float c.Experiment.pauses.Simkit.Stats.mean)
             (json_float c.Experiment.bypasses.Simkit.Stats.mean)
             (json_float c.Experiment.rounds.Simkit.Stats.mean)
-            (json_float wall_seconds))
+            (json_float wall_seconds)
+            (json_float (rate c.Experiment.rounds.Simkit.Stats.total))
+            (json_float (rate msgs))
+            (json_float (rate hops)))
         cells;
       output_string oc "\n  ]\n}\n")
 

@@ -16,12 +16,16 @@ val bench_json :
   unit
 (** Machine-readable bench export for CI perf tracking
     ([BENCH_*.json]): writes
-    [{commit, timestamp, cells: [{workload, algo, seeds, work,
-    makespan, throughput, rotations, pauses, bypasses, rounds,
-    wall_seconds}]}], one cell per (workload, algorithm) with metric
-    {e means} across seeds and the measured wall-clock seconds of the
-    cell run (the float paired with each measurement).  Hand-rolled
-    writer — no JSON dependency. *)
+    [{commit, timestamp, cells: [{workload, algo, seeds, messages,
+    work, makespan, throughput, rotations, pauses, bypasses, rounds,
+    wall_seconds, rounds_per_sec, msgs_per_sec, hops_per_sec}]}], one
+    cell per (workload, algorithm) with metric {e means} across seeds
+    and the measured wall-clock seconds of the cell run (the float
+    paired with each measurement).  The [*_per_sec] fields are
+    simulator-throughput rates — seed totals divided by wall clock —
+    so artifacts from different commits are trend-comparable
+    ([bench/compare_bench.exe] diffs two of them).  Hand-rolled writer
+    — no JSON dependency. *)
 
 val timeline_csv : Timeline.point list -> string -> unit
 

@@ -1,0 +1,160 @@
+(* The arena/pqueue concurrent executor against its list-based
+   executable specification (Cbnet.Concurrent.Reference): statistics,
+   latencies, telemetry payload streams and final trees must be
+   bit-identical across seeds and workload families. *)
+
+module T = Bstnet.Topology
+module Build = Bstnet.Build
+module Conc = Cbnet.Concurrent
+module Ref = Cbnet.Concurrent.Reference
+module Stats = Cbnet.Run_stats
+
+let workloads = [ "projector"; "skewed"; "datastructure"; "uniform" ]
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let trace_of ~workload ~seed =
+  let entry = Workloads.Catalog.find workload in
+  ( entry.Workloads.Catalog.n,
+    Workloads.Trace.to_runs
+      (entry.Workloads.Catalog.generate Workloads.Catalog.Smoke ~seed) )
+
+let check_stats ctx (a : Stats.t) (b : Stats.t) =
+  let s x = Format.asprintf "%a" Stats.pp x in
+  Alcotest.(check string) (ctx ^ ": run stats") (s b) (s a);
+  (* pp rounds floats; the float fields must also match exactly. *)
+  Alcotest.(check bool)
+    (ctx ^ ": stats bit-identical") true
+    (a.Stats.work = b.Stats.work
+    && a.Stats.throughput = b.Stats.throughput
+    && { a with Stats.work = 0.0; throughput = 0.0 }
+       = { b with Stats.work = 0.0; throughput = 0.0 })
+
+let check_trees ctx ta tb =
+  let n = T.n ta in
+  Alcotest.(check int) (ctx ^ ": same n") n (T.n tb);
+  Alcotest.(check int) (ctx ^ ": same root") (T.root ta) (T.root tb);
+  for v = 0 to n - 1 do
+    if
+      T.parent ta v <> T.parent tb v
+      || T.left ta v <> T.left tb v
+      || T.right ta v <> T.right tb v
+      || T.weight ta v <> T.weight tb v
+    then Alcotest.failf "%s: tree differs at node %d" ctx v
+  done
+
+let capture_payloads run =
+  let acc = ref [] in
+  let sink =
+    Obskit.Sink.stream (fun (e : Obskit.Event.t) ->
+        acc := e.Obskit.Event.payload :: !acc)
+  in
+  let result = run sink in
+  (result, List.rev !acc)
+
+let test_pair ~workload ~seed () =
+  let ctx = Printf.sprintf "%s/seed %d" workload seed in
+  let n, trace = trace_of ~workload ~seed in
+  let ta = Build.balanced n and tb = Build.balanced n in
+  let (sa, la), ea =
+    capture_payloads (fun sink -> Conc.run_with_latencies ~sink ta trace)
+  in
+  let (sb, lb), eb =
+    capture_payloads (fun sink -> Ref.run_with_latencies ~sink tb trace)
+  in
+  check_stats ctx sa sb;
+  check_trees ctx ta tb;
+  Array.sort compare la;
+  Array.sort compare lb;
+  Alcotest.(check (array (float 0.0))) (ctx ^ ": sorted latencies") lb la;
+  Alcotest.(check int)
+    (ctx ^ ": event count")
+    (List.length eb) (List.length ea);
+  List.iteri
+    (fun i (pa, pb) ->
+      if pa <> pb then
+        Alcotest.failf "%s: event %d differs: %s vs %s" ctx i
+          (Obskit.Event.name pa) (Obskit.Event.name pb))
+    (List.combine ea eb)
+
+(* The untraced hot path takes a different route through the executor
+   (shape probe + conflict pre-check, ΔΦ evaluated lazily), so it gets
+   its own pairwise check: stats, trees and latencies must match the
+   reference executor with the null sink too. *)
+let test_pair_untraced ~workload ~seed () =
+  let ctx = Printf.sprintf "untraced %s/seed %d" workload seed in
+  let n, trace = trace_of ~workload ~seed in
+  let ta = Build.balanced n and tb = Build.balanced n in
+  let sa, la = Conc.run_with_latencies ta trace in
+  let sb, lb = Ref.run_with_latencies tb trace in
+  check_stats ctx sa sb;
+  check_trees ctx ta tb;
+  Array.sort compare la;
+  Array.sort compare lb;
+  Alcotest.(check (array (float 0.0))) (ctx ^ ": sorted latencies") lb la
+
+(* The scheduler finalizer must account for in-flight messages too:
+   truncating both executors mid-run (before quiescence) must still
+   produce identical statistics. *)
+let test_truncated_finalize () =
+  let n, trace = trace_of ~workload:"projector" ~seed:3 in
+  let ta = Build.balanced n and tb = Build.balanced n in
+  let sched_a, fin_a = Conc.scheduler ta trace in
+  let sched_b, fin_b = Ref.scheduler tb trace in
+  let rounds = 20 in
+  for r = 0 to rounds - 1 do
+    sched_a.Simkit.Engine.tick r;
+    sched_b.Simkit.Engine.tick r
+  done;
+  Alcotest.(check bool)
+    "neither executor finished (test needs in-flight messages)" false
+    (sched_a.Simkit.Engine.is_done () || sched_b.Simkit.Engine.is_done ());
+  check_stats "truncated" (fin_a rounds) (fin_b rounds);
+  check_trees "truncated" ta tb
+
+(* run and run_with_latencies must agree with each other: the stats
+   path is shared, latencies are derived, not re-simulated. *)
+let test_run_vs_run_with_latencies () =
+  let n, trace = trace_of ~workload:"skewed" ~seed:2 in
+  let s1 = Conc.run (Build.balanced n) trace in
+  let s2, lats = Conc.run_with_latencies (Build.balanced n) trace in
+  check_stats "run vs run_with_latencies" s1 s2;
+  Alcotest.(check int)
+    "one latency per data message" s1.Stats.messages (Array.length lats)
+
+let pair_cases =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "%s seed %d" workload seed)
+            `Quick
+            (test_pair ~workload ~seed))
+        seeds)
+    workloads
+
+let untraced_cases =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "%s seed %d" workload seed)
+            `Quick
+            (test_pair_untraced ~workload ~seed))
+        seeds)
+    workloads
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ("executor pairs", pair_cases);
+      ("executor pairs untraced", untraced_cases);
+      ( "finalization",
+        [
+          Alcotest.test_case "truncated finalize" `Quick
+            test_truncated_finalize;
+          Alcotest.test_case "run vs run_with_latencies" `Quick
+            test_run_vs_run_with_latencies;
+        ] );
+    ]

@@ -90,6 +90,116 @@ let test_opt_on_star_demand () =
   Alcotest.(check bool) "beats 0-at-root" true
     (Opt.cost sol <= Demand.routing_cost demand zero_root)
 
+(* An independent statement of the recurrence — top-down, memoized,
+   structured nothing like the production bottom-up loop — must agree
+   with [solve] on every interval's cost and chosen root (both
+   tie-break to the smallest minimizing k), hence on the whole tree. *)
+let test_matches_naive_recurrence () =
+  let rng = Simkit.Rng.create 101 in
+  let check_n n =
+    let m = 400 in
+    let trace =
+      Array.init m (fun i -> (i, Simkit.Rng.int rng n, Simkit.Rng.int rng n))
+    in
+    let demand = Demand.of_trace ~n trace in
+    let memo = Hashtbl.create 97 in
+    let rec naive lo hi =
+      if lo > hi then (0, -1)
+      else
+        match Hashtbl.find_opt memo (lo, hi) with
+        | Some r -> r
+        | None ->
+            let best = ref max_int and best_k = ref lo in
+            for k = lo to hi do
+              let sub lo' hi' =
+                if lo' > hi' then 0
+                else fst (naive lo' hi') + Demand.cut_cost demand ~lo:lo' ~hi:hi'
+              in
+              let c = sub lo (k - 1) + sub (k + 1) hi in
+              if c < !best then begin
+                best := c;
+                best_k := k
+              end
+            done;
+            Hashtbl.add memo (lo, hi) (!best, !best_k);
+            (!best, !best_k)
+    in
+    let sol = Opt.solve demand in
+    let ctx lo hi = Printf.sprintf "n=%d [%d,%d]" n lo hi in
+    for lo = 0 to n - 1 do
+      for hi = lo to n - 1 do
+        let _, k = naive lo hi in
+        Alcotest.(check int) (ctx lo hi ^ " root") k (Opt.root_of sol ~lo ~hi)
+      done
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "n=%d cost" n)
+      (fst (naive 0 (n - 1)))
+      (Opt.cost sol);
+    (* Same per-interval roots imply the same tree; check it end to
+       end anyway through the builder. *)
+    let ta = Opt.tree sol in
+    let tb =
+      Build.of_interval_roots n (fun ~lo ~hi -> snd (naive lo hi))
+    in
+    for v = 0 to n - 1 do
+      if T.parent ta v <> T.parent tb v then
+        Alcotest.failf "n=%d: tree differs at node %d" n v
+    done
+  in
+  List.iter check_n [ 2; 3; 7; 16; 33; 64 ]
+
+(* Knuth's window is lossless exactly when the exact root matrix is
+   monotone: on such instances the O(n²) variant must reproduce the
+   exact trees and costs bit for bit. *)
+let test_knuth_exact_when_monotone () =
+  let rng = Simkit.Rng.create 53 in
+  let monotone_seen = ref 0 in
+  let check (n, demand) =
+    let exact = Opt.solve ~knuth:false demand in
+    if Opt.roots_monotone exact then begin
+      incr monotone_seen;
+      let windowed = Opt.solve ~knuth:true demand in
+      Alcotest.(check int) "same cost" (Opt.cost exact) (Opt.cost windowed);
+      let ta = Opt.tree exact and tb = Opt.tree windowed in
+      for v = 0 to n - 1 do
+        if T.parent ta v <> T.parent tb v then
+          Alcotest.failf "monotone instance: tree differs at node %d" v
+      done
+    end
+  in
+  (* Random dense demands essentially never satisfy monotonicity (the
+     quadrangle inequality fails on them), so the sweep mixes in
+     structured instances that do. *)
+  let uniform n =
+    let pairs = ref [] in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v then pairs := (List.length !pairs, u, v) :: !pairs
+      done
+    done;
+    (n, Demand.of_trace ~n (Array.of_list !pairs))
+  in
+  let structured =
+    [
+      (8, Demand.of_trace ~n:8 [||]);
+      uniform 12;
+      (16, Demand.of_trace ~n:16 (Array.init 50 (fun i -> (i, 3, 12))));
+    ]
+  in
+  let random =
+    List.init 30 (fun _ ->
+        let n = 4 + Simkit.Rng.int rng 28 in
+        let m = 100 + Simkit.Rng.int rng 300 in
+        ( n,
+          Demand.of_trace ~n
+            (Array.init m (fun i ->
+                 (i, Simkit.Rng.int rng n, Simkit.Rng.int rng n))) ))
+  in
+  List.iter check (structured @ random);
+  Alcotest.(check bool)
+    "sweep exercised at least one monotone instance" true (!monotone_seen > 0)
+
 let test_knuth_heuristic_upper_bound () =
   (* The Knuth-window variant is a heuristic: never better than exact,
      and produces a consistent tree. *)
@@ -143,6 +253,10 @@ let () =
           Alcotest.test_case "dominates others" `Quick test_opt_dominates_balanced_and_random;
           Alcotest.test_case "hot pair adjacent" `Quick test_single_hot_pair_made_adjacent;
           Alcotest.test_case "star demand" `Quick test_opt_on_star_demand;
+          Alcotest.test_case "matches naive recurrence" `Quick
+            test_matches_naive_recurrence;
+          Alcotest.test_case "knuth exact when monotone" `Quick
+            test_knuth_exact_when_monotone;
           Alcotest.test_case "knuth heuristic" `Quick test_knuth_heuristic_upper_bound;
           Alcotest.test_case "empty demand" `Quick test_empty_demand;
         ] );

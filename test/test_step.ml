@@ -40,7 +40,7 @@ let test_forward_up_two_levels () =
       Alcotest.(check bool) "routing step" false p.S.rotate;
       Alcotest.(check int) "two hops" 2 p.S.hops;
       Alcotest.(check int) "lands at grandparent" 3 p.S.new_current;
-      Alcotest.(check (list int)) "passes parent then grandparent" [ 1; 3 ] p.S.passed
+      Alcotest.(check (list int)) "passes parent then grandparent" [ 1; 3 ] (S.passed p)
 
 let test_forward_up_stops_at_lca () =
   let t = uniform_tree () in
@@ -66,7 +66,7 @@ let test_forward_down_two_levels () =
       Alcotest.(check bool) "routing" false p.S.rotate;
       Alcotest.(check bool) "td zig-zig shape" true (p.S.kind = S.Td_semi_zig_zig);
       Alcotest.(check int) "lands two levels down" 1 p.S.new_current;
-      Alcotest.(check (list int)) "passes" [ 3; 1 ] p.S.passed
+      Alcotest.(check (list int)) "passes" [ 3; 1 ] (S.passed p)
 
 let test_forward_down_one_level () =
   let t = uniform_tree () in
@@ -125,7 +125,7 @@ let test_rotation_execution_up_zig_zig () =
       S.execute t p;
       let phi_after = P.phi t in
       Alcotest.(check bool) "potential dropped as predicted" true
-        (Float.abs (phi_after -. phi_before -. p.S.delta_phi) < 1e-9);
+        (Float.abs (phi_after -. phi_before -. (S.delta_phi p)) < 1e-9);
       Bstnet.Check.assert_ok (Bstnet.Check.structure t);
       Bstnet.Check.assert_ok (Bstnet.Check.bst_order t);
       Bstnet.Check.assert_ok (Bstnet.Check.interval_labels t);
@@ -154,7 +154,7 @@ let test_rotation_execution_down_zig_zag () =
       let phi_before = P.phi t in
       S.execute t p;
       Alcotest.(check bool) "delta matches" true
-        (Float.abs (P.phi t -. phi_before -. p.S.delta_phi) < 1e-9);
+        (Float.abs (P.phi t -. phi_before -. (S.delta_phi p)) < 1e-9);
       Alcotest.(check int) "z promoted to old current depth" 0 (T.depth t 5);
       Bstnet.Check.assert_ok (Bstnet.Check.structure t);
       Bstnet.Check.assert_ok (Bstnet.Check.bst_order t)
@@ -165,7 +165,7 @@ let test_cluster_contents () =
   | Some p ->
       List.iter
         (fun v ->
-          if not (List.mem v p.S.cluster) then Alcotest.failf "missing %d in cluster" v)
+          if not (List.mem v (S.cluster p)) then Alcotest.failf "missing %d in cluster" v)
         [ 0; 1; 3 ]
   | None -> Alcotest.fail "plan");
   (* Skew the weights so the bottom-up zig-zig rotation really fires:
@@ -186,7 +186,7 @@ let test_cluster_contents () =
   | Some p ->
       Alcotest.(check bool) "rotation fires" true p.S.rotate;
       Alcotest.(check bool) "rotation cluster includes anchor" true
-        (List.mem 7 p.S.cluster)
+        (List.mem 7 (S.cluster p))
   | None -> Alcotest.fail "plan"
 
 let test_update_message_plan () =
@@ -226,7 +226,7 @@ let test_update_never_rotates_onto_root () =
      restricted). *)
   let p3 = S.plan_up always_rotate t ~current:2 ~dst:6 in
   Alcotest.(check bool) "data message may rotate" true
-    (p3.S.rotate || p3.S.delta_phi >= -0.01)
+    (p3.S.rotate || (S.delta_phi p3) >= -0.01)
 
 let test_delta_threshold_boundary () =
   (* The same tree, two configs: a tight delta rotates, the default
@@ -320,7 +320,7 @@ let qcheck_tests =
                  else begin
                    let before = P.phi t in
                    S.execute t p;
-                   Float.abs (P.phi t -. before -. p.S.delta_phi) < 1e-9
+                   Float.abs (P.phi t -. before -. (S.delta_phi p)) < 1e-9
                  end));
   ]
 
