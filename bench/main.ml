@@ -140,7 +140,7 @@ let detect_commit () =
             match Unix.close_process_in ic with
             | Unix.WEXITED 0 when line <> "" -> line
             | _ -> "unknown"
-          with _ -> "unknown"))
+          with Unix.Unix_error _ | Sys_error _ -> "unknown"))
 
 let iso8601_now () =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in

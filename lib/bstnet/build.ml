@@ -1,3 +1,7 @@
+(* Node ids are ints; monomorphic (=)/(<>) as in Topology. *)
+let ( = ) : int -> int -> bool = Int.equal
+let ( <> ) a b = not (Int.equal a b)
+
 let of_interval_roots n choose =
   if n <= 0 then invalid_arg "Build.of_interval_roots: n must be positive";
   let root = choose ~lo:0 ~hi:(n - 1) in

@@ -1,5 +1,9 @@
 let ( let* ) = Result.bind
 
+(* Node ids are ints; monomorphic (=)/(<>) as in Topology. *)
+let ( = ) : int -> int -> bool = Int.equal
+let ( <> ) a b = not (Int.equal a b)
+
 let structure t =
   let n = Topology.n t in
   let r = Topology.root t in
@@ -10,7 +14,7 @@ let structure t =
     let violation = ref None in
     let count = ref 0 in
     let rec visit v =
-      if !violation = None && v <> Topology.nil then
+      if Option.is_none !violation && v <> Topology.nil then
         if visited.(v) then violation := Some (Printf.sprintf "node %d visited twice" v)
         else begin
           visited.(v) <- true;
@@ -39,9 +43,9 @@ let bst_order t =
   let expected = ref 0 in
   let violation = ref None in
   let rec inorder v =
-    if !violation = None && v <> Topology.nil then begin
+    if Option.is_none !violation && v <> Topology.nil then begin
       inorder (Topology.left t v);
-      if !violation = None then begin
+      if Option.is_none !violation then begin
         if v <> !expected then
           violation := Some (Printf.sprintf "in-order position %d holds key %d" !expected v);
         incr expected;
@@ -59,7 +63,7 @@ let interval_labels t =
     let l = Topology.left t v and r = Topology.right t v in
     let lo = if l = Topology.nil then v else fst (visit l) in
     let hi = if r = Topology.nil then v else snd (visit r) in
-    if !violation = None then begin
+    if Option.is_none !violation then begin
       if Topology.smallest t v <> lo then
         violation :=
           Some (Printf.sprintf "node %d: smallest=%d, actual=%d" v (Topology.smallest t v) lo);
@@ -84,7 +88,7 @@ let weights ?counters t =
       let wr = visit (Topology.right t v) in
       let c = Topology.counter t v in
       let c_expected = match counters with Some cs -> cs.(v) | None -> c in
-      if !violation = None then begin
+      if Option.is_none !violation then begin
         if c < 0 then violation := Some (Printf.sprintf "node %d: negative counter %d" v c);
         if c <> c_expected then
           violation := Some (Printf.sprintf "node %d: counter %d, expected %d" v c c_expected);

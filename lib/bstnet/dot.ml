@@ -24,7 +24,7 @@ let to_dot ?(name = "cbnet") ?(highlight = []) ?show_weights t =
         (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v label style));
   Topology.iter_subtree t (Topology.root t) (fun v ->
       let edge child tag =
-        if child <> Topology.nil then
+        if not (Int.equal child Topology.nil) then
           Buffer.add_string buf
             (Printf.sprintf "  n%d -> n%d [label=\"%s\", fontsize=8];\n" v child
                tag)

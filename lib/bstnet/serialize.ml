@@ -1,3 +1,7 @@
+(* Node ids are ints; monomorphic (<>) as in Topology.  Header and
+   field tags compare with String.equal explicitly. *)
+let ( <> ) (a : int) b = not (Int.equal a b)
+
 let to_string t =
   let n = Topology.n t in
   let buf = Buffer.create (16 * n) in
@@ -17,12 +21,12 @@ let of_string s =
   let lines = String.split_on_char '\n' s in
   let field name line =
     match String.split_on_char ' ' (String.trim line) with
-    | tag :: rest when tag = name -> rest
+    | tag :: rest when String.equal tag name -> rest
     | _ -> failwith (Printf.sprintf "Serialize.of_string: expected %S field" name)
   in
   match lines with
   | header :: n_line :: root_line :: parents_line :: weights_line :: _ ->
-      if String.trim header <> "cbnet-topology v1" then
+      if not (String.equal (String.trim header) "cbnet-topology v1") then
         failwith "Serialize.of_string: bad header";
       let n =
         match field "n" n_line with

@@ -14,6 +14,12 @@ type t = {
 
 let nil = -1
 
+(* Node ids are plain ints.  Shadowing (=)/(<>) monomorphically makes
+   the type-checker reject any structural comparison that sneaks in,
+   which is the enforcement the no-poly-compare lint rule wants. *)
+let ( = ) : int -> int -> bool = Int.equal
+let ( <> ) a b = not (Int.equal a b)
+
 let create ~n ~root =
   if n <= 0 then invalid_arg "Topology.create: n must be positive";
   if root < 0 || root >= n then invalid_arg "Topology.create: root out of range";

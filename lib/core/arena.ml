@@ -10,10 +10,12 @@ let create ~capacity =
 
 let length a = a.len
 
+(* lint: hot *)
 let alloc a =
-  if a.len = Array.length a.slots then begin
+  if Int.equal a.len (Array.length a.slots) then begin
     let old = a.slots in
     let n = Array.length old in
+    (* lint: allow no-alloc -- amortized growth path, not the per-alloc case *)
     a.slots <- Array.init (2 * n) (fun i -> if i < n then old.(i) else blank i)
   end;
   let m = a.slots.(a.len) in
@@ -38,3 +40,4 @@ let iter a f =
   for i = 0 to a.len - 1 do
     f a.slots.(i)
   done
+(* lint: hot-end *)

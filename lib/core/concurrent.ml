@@ -1,6 +1,11 @@
 module T = Bstnet.Topology
 module M = Message
 
+(* Node ids, rounds and version stamps are ints; kind tests go through
+   M.is_* (see the no-poly-compare lint rule). *)
+let ( = ) : int -> int -> bool = Int.equal
+let ( <> ) a b = not (Int.equal a b)
+
 let validate t trace =
   let n = T.n t in
   let last_birth = ref min_int in
@@ -45,18 +50,20 @@ type state = {
   mutable live_data : int;  (* undelivered data messages in flight *)
 }
 
+(* lint: hot *)
 let finish st (msg : M.t) =
   msg.M.delivered <- true;
   msg.M.end_time <- st.cur_round;
   st.live <- st.live - 1;
-  if msg.M.kind = M.Data then st.live_data <- st.live_data - 1;
+  if M.is_data msg then st.live_data <- st.live_data - 1;
   if Obskit.Sink.enabled st.sink then
+    (* lint: allow no-alloc -- closure built only when tracing is on *)
     Obskit.Sink.record st.sink (fun () ->
         Obskit.Event.Msg_delivered
           {
             round = st.cur_round;
             msg = msg.M.id;
-            data = msg.M.kind = M.Data;
+            data = M.is_data msg;
             birth = msg.M.birth;
             hops = msg.M.hops;
             rotations = msg.M.rotations;
@@ -73,6 +80,7 @@ let spawner st ~origin ~first_increment =
   st.live <- st.live + 1;
   if T.is_root st.t origin then finish st u
   else Simkit.Pqueue.stage st.queue u
+(* lint: hot-end *)
 
 let create config ~window ~sink t trace =
   validate t trace;
@@ -107,6 +115,7 @@ let create config ~window ~sink t trace =
     (fun ~origin ~first_increment -> spawner st ~origin ~first_increment);
   st
 
+(* lint: hot *)
 let inject st ~round =
   let continue_ = ref true in
   while
@@ -127,6 +136,7 @@ let inject st ~round =
       else Simkit.Pqueue.stage st.queue msg
     end
   done
+(* lint: hot-end *)
 
 (* Conflict probe, walking the plan's nil-padded cluster fields (nil
    is tail padding only).  Encoded as an int so the per-turn hot path
@@ -135,6 +145,7 @@ let inject st ~round =
    closures — the non-flambda compiler would allocate them per call. *)
 let conflict_free = -1
 
+(* lint: hot *)
 let cluster_conflict st ~round =
   let p = st.plan in
   let v0 = p.Step.cluster0 in
@@ -189,6 +200,7 @@ let resolved_turn st ~round ~traced (msg : M.t) =
     if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
     else msg.M.pauses <- msg.M.pauses + 1;
     if traced then
+      (* lint: allow no-alloc -- closure built only when tracing is on *)
       Obskit.Sink.record st.sink (fun () ->
           Obskit.Event.Conflict
             {
@@ -202,6 +214,7 @@ let resolved_turn st ~round ~traced (msg : M.t) =
   else begin
     claim st ~round;
     if traced then
+      (* lint: allow no-alloc -- closure built only when tracing is on *)
       Obskit.Sink.record st.sink (fun () ->
           Obskit.Event.Cluster_claimed
             {
@@ -213,6 +226,7 @@ let resolved_turn st ~round ~traced (msg : M.t) =
     msg.M.shape_c0 <- M.shape_none;
     Protocol.apply_step st.t ~spawn:st.spawn msg plan;
     if traced && plan.Step.rotate then
+      (* lint: allow no-alloc -- closure built only when tracing is on *)
       Obskit.Sink.record st.sink (fun () ->
           Obskit.Event.Rotation
             {
@@ -224,6 +238,7 @@ let resolved_turn st ~round ~traced (msg : M.t) =
             });
     if msg.M.delivered then finish st msg
   end
+(* lint: hot-end *)
 
 (* Traced turn: full plan up front (Step_planned must carry ΔΦ). *)
 let traced_turn st ~round (msg : M.t) =
@@ -253,6 +268,7 @@ let traced_turn st ~round (msg : M.t) =
    step would rotate, and the plan can be discarded unresolved.  This
    is outcome-identical to the traced path; the equivalence suite
    checks it against {!Reference}. *)
+(* lint: hot *)
 let untraced_probe_turn st ~round (msg : M.t) =
   if Protocol.begin_turn_probe st.plan st.t ~spawn:st.spawn msg then begin
     let p = st.plan in
@@ -341,6 +357,7 @@ let tick st round =
   st.cur_round <- round;
   let traced = Obskit.Sink.enabled st.sink in
   if traced then
+    (* lint: allow no-alloc -- closure built only when tracing is on *)
     Obskit.Sink.record st.sink (fun () ->
         Obskit.Event.Round_begin
           { round; active = st.live; live_data = st.live_data });
@@ -349,6 +366,7 @@ let tick st round =
      priority buffer for this round. *)
   inject st ~round;
   Simkit.Pqueue.commit st.queue;
+  (* lint: allow no-alloc -- one visitor closure per round, not per turn *)
   Simkit.Pqueue.iter_filter st.queue (fun (msg : M.t) ->
       if msg.M.delivered then false
       else begin
@@ -359,8 +377,10 @@ let tick st round =
       end);
   (* Φ is O(n) to compute, so it is sampled only on traced runs. *)
   if traced then
+    (* lint: allow no-alloc -- closure built only when tracing is on *)
     Obskit.Sink.record st.sink (fun () ->
         Obskit.Event.Phi_sample { round; phi = Potential.phi st.t })
+(* lint: hot-end *)
 
 let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t trace =
   let window = default_window t window in
@@ -393,11 +413,11 @@ let run_with_latencies ?config ?window ?max_rounds ?sink t trace =
   let stats = finalize rounds in
   let count = ref 0 in
   Arena.iter st.arena (fun m ->
-      if m.M.kind = M.Data && m.M.delivered then incr count);
+      if M.is_data m && m.M.delivered then incr count);
   let latencies = Array.make !count 0.0 in
   let i = ref 0 in
   Arena.iter st.arena (fun m ->
-      if m.M.kind = M.Data && m.M.delivered then begin
+      if M.is_data m && m.M.delivered then begin
         latencies.(!i) <- float_of_int (m.M.end_time - m.M.birth);
         incr i
       end);
@@ -456,14 +476,14 @@ module Reference = struct
     msg.M.end_time <- round;
     st.finished <- msg :: st.finished;
     st.live <- st.live - 1;
-    if msg.M.kind = M.Data then st.live_data <- st.live_data - 1;
+    if M.is_data msg then st.live_data <- st.live_data - 1;
     if Obskit.Sink.enabled st.sink then
       Obskit.Sink.record st.sink (fun () ->
           Obskit.Event.Msg_delivered
             {
               round;
               msg = msg.M.id;
-              data = msg.M.kind = M.Data;
+              data = M.is_data msg;
               birth = msg.M.birth;
               hops = msg.M.hops;
               rotations = msg.M.rotations;

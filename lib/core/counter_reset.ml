@@ -11,7 +11,7 @@ let decay t ~factor =
       int_of_float (Float.floor (float_of_int (max 0 (T.counter t v)) *. factor))
   done;
   let rec rebuild v =
-    if v = T.nil then 0
+    if Int.equal v T.nil then 0
     else begin
       let wl = rebuild (T.left t v) in
       let wr = rebuild (T.right t v) in

@@ -83,6 +83,13 @@ let data ~id ~src ~dst ~birth = make ~id ~kind:Data ~src ~dst ~birth
 let weight_update ~id ~origin ~birth =
   make ~id ~kind:Weight_update ~src:origin ~dst:Bstnet.Topology.nil ~birth
 
+let is_data m = match m.kind with Data -> true | Weight_update -> false
+let is_update m = match m.kind with Weight_update -> true | Data -> false
+let is_climbing m = match m.phase with Climbing -> true | Descending -> false
+
+let is_descending m =
+  match m.phase with Descending -> true | Climbing -> false
+
 let priority_compare a b =
-  let c = compare a.birth b.birth in
-  if c <> 0 then c else compare a.id b.id
+  let c = Int.compare a.birth b.birth in
+  if c <> 0 then c else Int.compare a.id b.id

@@ -66,6 +66,15 @@ val reinit : t -> kind:kind -> src:int -> dst:int -> birth:int -> unit
     identity fields are mutable only to support this; once a message
     is in flight they must not change. *)
 
+val is_data : t -> bool
+val is_update : t -> bool
+val is_climbing : t -> bool
+
+val is_descending : t -> bool
+(** Monomorphic [kind]/[phase] tests; callers use these instead of
+    structural [=] on the variants (see the [no-poly-compare] lint
+    rule). *)
+
 val priority_compare : t -> t -> int
 (** Earlier birth first, then smaller id — the total order used for
     the prioritization rule of Sec. VII-A. *)

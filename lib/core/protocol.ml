@@ -1,6 +1,11 @@
 module T = Bstnet.Topology
 module M = Message
 
+(* Node ids are ints; kind/phase tests go through M.is_* so nothing
+   here compares structurally (see the no-poly-compare lint rule). *)
+let ( = ) : int -> int -> bool = Int.equal
+let ( <> ) a b = not (Int.equal a b)
+
 type spawn = origin:int -> first_increment:int -> unit
 type turn = Delivered | Plan of Step.t
 
@@ -55,17 +60,17 @@ let begin_turn_probe buf t ~spawn (msg : M.t) =
              promoted the current node into being the destination's
              position — impossible for distinct keys — or defensively
              after delivery races; treat as LCA + delivery. *)
-          if msg.phase = M.Climbing then flip_at_lca t msg ~spawn;
+          if M.is_climbing msg then flip_at_lca t msg ~spawn;
           false
       | T.Up ->
           (* A bypass may have evicted the destination from the current
              subtree mid-descent: resume climbing (the update message,
              if already sent, is not re-sent). *)
-          if msg.phase = M.Descending then msg.phase <- M.Climbing;
+          if M.is_descending msg then msg.phase <- M.Climbing;
           Step.probe_up_into buf t ~current:msg.current ~dst:msg.dst;
           true
       | T.Down_left | T.Down_right ->
-          if msg.phase = M.Climbing then flip_at_lca t msg ~spawn;
+          if M.is_climbing msg then flip_at_lca t msg ~spawn;
           Step.probe_down_into buf t ~current:msg.current ~dst:msg.dst;
           true)
 
@@ -119,7 +124,7 @@ let apply_step t ~spawn (msg : M.t) (plan : Step.t) =
      pre-rotation tree (below the root), otherwise the root aggregate
      would absorb them and overshoot W(r) = 2m. *)
   let pre_increment =
-    plan.Step.rotate && msg.phase = M.Descending
+    plan.Step.rotate && M.is_descending msg
     && T.is_root t plan.Step.current
   in
   if pre_increment then cross_passed t ~spawn msg plan;
@@ -129,5 +134,4 @@ let apply_step t ~spawn (msg : M.t) (plan : Step.t) =
   msg.rotations <- msg.rotations + plan.Step.rotations;
   if not pre_increment then cross_passed t ~spawn msg plan;
   msg.current <- plan.Step.new_current;
-  if msg.kind = M.Weight_update && T.is_root t msg.current then
-    msg.delivered <- true
+  if M.is_update msg && T.is_root t msg.current then msg.delivered <- true

@@ -61,7 +61,7 @@ let run ?(config = Config.default) ?(sink = Obskit.Sink.null) t trace =
             {
               round = msg.M.end_time;
               msg = msg.M.id;
-              data = msg.M.kind = M.Data;
+              data = M.is_data msg;
               birth = msg.M.birth;
               hops = msg.M.hops;
               rotations = msg.M.rotations;

@@ -1,5 +1,10 @@
 module T = Bstnet.Topology
 
+(* Node ids are ints; side/direction tests below use Bool.equal and
+   pattern matches, so the shadow covers every (=) use in this file. *)
+let ( = ) : int -> int -> bool = Int.equal
+let ( <> ) a b = not (Int.equal a b)
+
 type kind =
   | Bu_zig
   | Bu_semi_zig_zig
@@ -103,9 +108,12 @@ let set_cluster st head a b d =
 
 (* The climb of a message ends at the LCA with its destination; the
    climb of a weight-update message (dst = nil) ends at the root. *)
+(* lint: hot *)
 let climb_continues t ~node ~dst =
   if dst = T.nil then T.parent t node <> T.nil
-  else T.direction_to t ~src:node ~dst = T.Up
+  else match T.direction_to t ~src:node ~dst with
+    | T.Up -> true
+    | T.Down_left | T.Down_right | T.Here -> false
 
 (* Shape-only planning.  Classifies the step and records the nodes it
    would lock — the claim-independent "core" (the cluster minus its
@@ -130,7 +138,7 @@ let probe_up_into st t ~current:x ~dst =
   end
   else begin
     let g = T.parent t p in
-    let same_side = T.is_left_child t x = T.is_left_child t p in
+    let same_side = Bool.equal (T.is_left_child t x) (T.is_left_child t p) in
     st.kind <- (if same_side then Bu_semi_zig_zig else Bu_semi_zig_zag);
     st.anchor <- T.parent t g;
     st.cluster0 <- x;
@@ -153,7 +161,7 @@ let probe_down_into st t ~current:x ~dst =
   end
   else begin
     let z = T.next_hop t ~src:y ~dst in
-    let same_side = (y = T.left t x) = (z = T.left t y) in
+    let same_side = Bool.equal (y = T.left t x) (z = T.left t y) in
     st.kind <- (if same_side then Td_semi_zig_zig else Td_semi_zig_zag);
     st.cluster0 <- x;
     st.cluster1 <- y;
@@ -269,6 +277,7 @@ let resolve_into st config t =
         set_cluster st st.anchor x y z
       end
       else set_passed st y z
+(* lint: hot-end *)
 
 let plan_up_into st config t ~current ~dst =
   probe_up_into st t ~current ~dst;

@@ -1,0 +1,166 @@
+(* Drives one lint run: file discovery, per-file checks (lexical +
+   parsed), suppression comments, and the baseline ratchet. *)
+
+let meta_parse_error = "parse-error"
+let meta_directive = "lint-directive"
+
+let normalize path =
+  let p = "./" in
+  if String.length path > 2 && String.equal (String.sub path 0 2) p then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* --- per-file lexical checks ------------------------------------- *)
+
+let whitespace_findings ~relpath src acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun i line ->
+      let lno = i + 1 in
+      (match String.index_opt line '\t' with
+      | Some col ->
+          acc :=
+            Finding.v ~file:relpath ~line:lno ~col:(col + 1) ~rule:"whitespace"
+              "tab character; indent with spaces"
+            :: !acc
+      | None -> ());
+      let len = String.length line in
+      if len > 0 && (Char.equal line.[len - 1] ' ' || Char.equal line.[len - 1] '\t')
+      then
+        acc :=
+          Finding.v ~file:relpath ~line:lno ~col:len ~rule:"whitespace"
+            "trailing whitespace"
+          :: !acc)
+    (Source.lines src);
+  !acc
+
+let directive_findings ~relpath src acc =
+  List.fold_left
+    (fun acc (line, msg) ->
+      Finding.v ~file:relpath ~line ~col:1 ~rule:meta_directive msg :: acc)
+    acc
+    (Source.directive_errors src)
+
+(* --- parsed checks ----------------------------------------------- *)
+
+let parse_findings ~enabled ~relpath src acc =
+  let acc = ref acc in
+  let report ~line ~col ~rule msg =
+    acc := Finding.v ~file:relpath ~line ~col ~rule msg :: !acc
+  in
+  let lexbuf = Lexing.from_string (Source.code src) in
+  Location.init lexbuf relpath;
+  (match Parse.implementation lexbuf with
+  | str ->
+      let ctx =
+        {
+          Rules.relpath;
+          enabled;
+          hot = (fun line -> Source.in_hot src ~line);
+          report;
+        }
+      in
+      Rules.check_structure ctx str
+  | exception (Syntaxerr.Error _ | Lexer.Error _) ->
+      let p = lexbuf.Lexing.lex_curr_p in
+      report ~line:p.Lexing.pos_lnum
+        ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol + 1)
+        ~rule:meta_parse_error "file does not parse");
+  !acc
+
+(* --- one file ----------------------------------------------------- *)
+
+let is_ml relpath = Filename.check_suffix relpath ".ml"
+
+let lint_source ~enabled ~relpath ?(mli_exists = true) src =
+  let raw = [] in
+  let raw =
+    if enabled "whitespace" then whitespace_findings ~relpath src raw else raw
+  in
+  let raw = directive_findings ~relpath src raw in
+  let raw =
+    if is_ml relpath then parse_findings ~enabled ~relpath src raw else raw
+  in
+  let raw =
+    if
+      is_ml relpath
+      && enabled "mli-coverage"
+      && Rules.lib_scope relpath
+      && not mli_exists
+    then
+      Finding.v ~file:relpath ~line:1 ~col:1 ~rule:"mli-coverage"
+        "module has no .mli; every lib/ module must declare its interface"
+      :: raw
+    else raw
+  in
+  let kept, suppressed =
+    List.partition
+      (fun (f : Finding.t) ->
+        not (Source.allowed src ~line:f.Finding.line ~rule:f.Finding.rule))
+      raw
+  in
+  (List.sort Finding.compare kept, List.length suppressed)
+
+let lint_string ~enabled ~path ?mli_exists code =
+  let relpath = normalize path in
+  let src = Source.of_string ~known:Rules.known ~path:relpath code in
+  lint_source ~enabled ~relpath ?mli_exists src
+
+(* --- discovery ---------------------------------------------------- *)
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc name ->
+        if String.length name > 0 && Char.equal name.[0] '.' then acc
+        else if String.equal name "_build" then acc
+        else walk (Filename.concat path name) acc)
+      acc
+      (let names = Sys.readdir path in
+       Array.sort String.compare names;
+       names)
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let discover paths =
+  List.concat_map (fun p -> List.rev (walk p [])) (List.map normalize paths)
+
+(* --- a whole run --------------------------------------------------- *)
+
+type outcome = {
+  findings : Finding.t list;  (* kept: not suppressed, not baselined *)
+  files : int;
+  suppressed : int;
+  baselined : int;
+  stale : string list;  (* baseline entries whose finding is gone *)
+}
+
+let clean o =
+  List.is_empty o.findings && List.is_empty o.stale
+
+let run ?(enabled = fun _ -> true) ?baseline paths =
+  let files = discover paths in
+  let all, suppressed =
+    List.fold_left
+      (fun (acc, supp) relpath ->
+        let src = Source.load ~known:Rules.known relpath in
+        let mli_exists =
+          (not (is_ml relpath)) || Sys.file_exists (relpath ^ "i")
+        in
+        let kept, s = lint_source ~enabled ~relpath ~mli_exists src in
+        (List.rev_append kept acc, supp + s))
+      ([], 0) files
+  in
+  let base = match baseline with Some b -> b | None -> Baseline.empty () in
+  let kept, baselined =
+    List.partition (fun f -> not (Baseline.matches base (Finding.key f))) all
+  in
+  {
+    findings = List.sort Finding.compare kept;
+    files = List.length files;
+    suppressed;
+    baselined = List.length baselined;
+    stale = Baseline.stale base;
+  }

@@ -1,0 +1,42 @@
+(** Drives one lint run: discovery, per-file checks, suppression, and
+    the baseline ratchet.  [bin/cbnet_lint.ml] is a thin CLI over
+    {!run}; tests exercise {!lint_string} on inline fixtures. *)
+
+val meta_parse_error : string
+(** Rule id reported when a file fails to parse. *)
+
+val meta_directive : string
+(** Rule id reported for malformed [(* lint: ... *)] directives. *)
+
+val lint_string :
+  enabled:(string -> bool) ->
+  path:string ->
+  ?mli_exists:bool ->
+  string ->
+  Finding.t list * int
+(** Lint one in-memory file.  [path] is the repo-relative name the
+    rules scope on (e.g. ["lib/core/foo.ml"]); [mli_exists] (default
+    true) feeds the [mli-coverage] rule.  Returns the kept findings
+    (sorted) and the count suppressed by allow comments. *)
+
+val discover : string list -> string list
+(** All [.ml]/[.mli] files under the given files/directories, skipping
+    [_build] and dot-directories, in deterministic order. *)
+
+type outcome = {
+  findings : Finding.t list;  (** kept: not suppressed, not baselined *)
+  files : int;
+  suppressed : int;
+  baselined : int;
+  stale : string list;
+      (** baseline entries whose finding no longer exists — ratchet
+          violations; remove them from the baseline file *)
+}
+
+val clean : outcome -> bool
+(** No findings and no stale baseline entries. *)
+
+val run :
+  ?enabled:(string -> bool) -> ?baseline:Baseline.t -> string list -> outcome
+(** Lint every file under the given paths.  [enabled] toggles rules by
+    id (default: all on). *)

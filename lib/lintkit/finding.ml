@@ -1,0 +1,29 @@
+type t = {
+  file : string;
+  line : int;  (* 1-based *)
+  col : int;  (* 1-based *)
+  rule : string;
+  message : string;
+}
+
+let v ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d [%s] %s" t.file t.line t.col t.rule t.message
+
+(* Baseline identity: line/column numbers shift under unrelated edits,
+   so the ratchet keys on (file, rule, message) only. *)
+let key t = Printf.sprintf "%s|%s|%s" t.file t.rule t.message
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message

@@ -1,0 +1,19 @@
+(** One lint diagnostic, rendered as [file:line:col [rule] message]. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  rule : string;
+  message : string;
+}
+
+val v : file:string -> line:int -> col:int -> rule:string -> string -> t
+val to_string : t -> string
+
+val key : t -> string
+(** Position-independent identity ([file|rule|message]) used by the
+    baseline ratchet, so entries survive unrelated line shifts. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule, message. *)

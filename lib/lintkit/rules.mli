@@ -1,0 +1,29 @@
+(** The Parsetree-level lint rules.
+
+    All checks are syntactic (untyped AST), so each is a conservative
+    approximation of the invariant it guards; docs/LINTING.md spells
+    out the exact shapes recognised.  Rules scope themselves by path:
+    [no-poly-compare] fires only under [lib/core/] and [lib/bstnet/],
+    [no-stdout] only under [lib/]. *)
+
+val all : (string * string) list
+(** Every rule as [(id, one-line description)]. *)
+
+val known : string -> bool
+(** Is [rule] a valid rule id? *)
+
+val lib_scope : string -> bool
+(** Does this repo-relative path live under a [lib/] tree (the scope
+    of [no-stdout] and [mli-coverage])? *)
+
+type ctx = {
+  relpath : string;  (** repo-relative path, drives rule scoping *)
+  enabled : string -> bool;
+  hot : int -> bool;  (** is this 1-based line inside a hot region? *)
+  report : line:int -> col:int -> rule:string -> string -> unit;
+}
+
+val check_structure : ctx -> Parsetree.structure -> unit
+(** Run every AST rule over one parsed implementation, reporting raw
+    findings through [ctx.report] (suppression and baselining happen
+    in {!Engine}). *)

@@ -1,5 +1,11 @@
 type t = Null | Fn of (Event.t -> unit)
 
+(* Private copy of [Simkit.Pool.with_lock] — obskit sits below simkit
+   in the dependency order, so it cannot borrow the public one. *)
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let null = Null
 let enabled = function Null -> false | Fn _ -> true
 let emit t ev = match t with Null -> () | Fn f -> f ev
@@ -17,10 +23,7 @@ let record t make =
 
 let stream f =
   let lock = Mutex.create () in
-  Fn
-    (fun ev ->
-      Mutex.lock lock;
-      Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f ev))
+  Fn (fun ev -> with_lock lock (fun () -> f ev))
 
 let channel oc =
   stream (fun ev ->
@@ -61,9 +64,7 @@ module Ring = struct
       total = 0;
     }
 
-  let locked b f =
-    Mutex.lock b.lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock b.lock) f
+  let locked b f = with_lock b.lock f
 
   let sink b =
     Fn

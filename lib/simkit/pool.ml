@@ -7,7 +7,12 @@ type t = {
   mutable workers : unit Domain.t list;
   sink : Obskit.Sink.t;
   mutable next_task_id : int;  (* under [mutex] *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;  (* under [mutex] *)
 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let default_num_domains () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
 
@@ -18,6 +23,18 @@ let default_jobs () =
       | Some j when j >= 1 -> j
       | _ -> default_num_domains ())
   | None -> default_num_domains ()
+
+(* First recorded exception wins; concurrent losers are dropped, which
+   mirrors the lowest-index rule [map] applies to task-body failures. *)
+let record_failure t e bt =
+  with_lock t.mutex (fun () ->
+      if Option.is_none t.failure then t.failure <- Some (e, bt))
+
+let take_failure t =
+  with_lock t.mutex (fun () ->
+      let f = t.failure in
+      t.failure <- None;
+      f)
 
 let worker t () =
   let rec next_task () =
@@ -30,15 +47,16 @@ let worker t () =
     end
   in
   let rec loop () =
-    Mutex.lock t.mutex;
-    let task = next_task () in
-    Mutex.unlock t.mutex;
-    match task with
+    match with_lock t.mutex next_task with
     | None -> ()
     | Some task ->
-        (* Tasks are wrapped by [map] and never raise; the catch-all
-           keeps a stray exception from killing the worker anyway. *)
-        (try task () with _ -> ());
+        (* [map]'s wrapper stores task-body exceptions per result slot;
+           anything that escapes the wrapper itself (telemetry, slot
+           bookkeeping) is recorded here and re-raised from the next
+           batch wait rather than silently dropped. *)
+        (match task () with
+        | () -> ()
+        | exception e -> record_failure t e (Printexc.get_raw_backtrace ()));
         loop ()
   in
   loop ()
@@ -58,6 +76,7 @@ let create ?num_domains ?(sink = Obskit.Sink.null) () =
       workers = [];
       sink;
       next_task_id = 0;
+      failure = None;
     }
   in
   t.workers <- List.init size (fun _ -> Domain.spawn (worker t));
@@ -66,17 +85,12 @@ let create ?num_domains ?(sink = Obskit.Sink.null) () =
 let num_domains t = Stdlib.max 1 t.size
 
 let reserve_ids t n =
-  Mutex.lock t.mutex;
-  let base = t.next_task_id in
-  t.next_task_id <- base + n;
-  Mutex.unlock t.mutex;
-  base
+  with_lock t.mutex (fun () ->
+      let base = t.next_task_id in
+      t.next_task_id <- base + n;
+      base)
 
-let queue_depth t =
-  Mutex.lock t.mutex;
-  let d = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  d
+let queue_depth t = with_lock t.mutex (fun () -> Queue.length t.queue)
 
 (* Emit the [Start]/[Done] pair around one task body.  [Done] carries
    the task's wall time; both carry the live queue depth so the trace
@@ -110,29 +124,25 @@ let observed t ~id body =
   end
 
 let submit_batch t tasks =
-  Mutex.lock t.mutex;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Pool.map: pool is shut down"
-  end;
-  let traced = Obskit.Sink.enabled t.sink in
-  List.iter
-    (fun (id, task) ->
-      Queue.push task t.queue;
-      if traced then begin
-        let depth = Queue.length t.queue in
-        Obskit.Sink.record t.sink (fun () ->
-            Obskit.Event.Pool_task
-              {
-                task = id;
-                phase = Obskit.Event.Enqueue;
-                queue_depth = depth;
-                elapsed_us = 0.0;
-              })
-      end)
-    tasks;
-  Condition.broadcast t.has_work;
-  Mutex.unlock t.mutex
+  with_lock t.mutex (fun () ->
+      if t.closed then invalid_arg "Pool.map: pool is shut down";
+      let traced = Obskit.Sink.enabled t.sink in
+      List.iter
+        (fun (id, task) ->
+          Queue.push task t.queue;
+          if traced then begin
+            let depth = Queue.length t.queue in
+            Obskit.Sink.record t.sink (fun () ->
+                Obskit.Event.Pool_task
+                  {
+                    task = id;
+                    phase = Obskit.Event.Enqueue;
+                    queue_depth = depth;
+                    elapsed_us = 0.0;
+                  })
+          end)
+        tasks;
+      Condition.broadcast t.has_work)
 
 let map t n f =
   if n <= 0 then [||]
@@ -170,24 +180,32 @@ let map t n f =
     let batch_mutex = Mutex.create () in
     let batch_done = Condition.create () in
     let task i () =
-      (match observed t ~id:(base + i) (fun () -> f i) with
-      | v -> results.(i) <- Some v
-      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-      Mutex.lock batch_mutex;
-      decr remaining;
-      if !remaining = 0 then Condition.signal batch_done;
-      Mutex.unlock batch_mutex
+      (* The [finally] keeps a raising body (or raising telemetry in
+         [observed]'s own finalizer) from leaving [remaining] stuck and
+         hanging the batch wait below. *)
+      Fun.protect
+        ~finally:(fun () ->
+          with_lock batch_mutex (fun () ->
+              decr remaining;
+              if !remaining = 0 then Condition.signal batch_done))
+        (fun () ->
+          match observed t ~id:(base + i) (fun () -> f i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
     in
     submit_batch t (List.init n (fun i -> (base + i, task i)));
-    Mutex.lock batch_mutex;
-    while !remaining > 0 do
-      Condition.wait batch_done batch_mutex
-    done;
-    Mutex.unlock batch_mutex;
+    with_lock batch_mutex (fun () ->
+        while !remaining > 0 do
+          Condition.wait batch_done batch_mutex
+        done);
     Array.iter
       (function
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
       errors;
+    (match take_failure t with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.map
       (function
         | Some v -> v | None -> assert false (* every slot filled or raised *))
@@ -199,11 +217,13 @@ let run t thunks =
   map t (Array.length arr) (fun i -> arr.(i) ()) |> Array.to_list
 
 let shutdown t =
-  Mutex.lock t.mutex;
-  let was_closed = t.closed in
-  t.closed <- true;
-  Condition.broadcast t.has_work;
-  Mutex.unlock t.mutex;
+  let was_closed =
+    with_lock t.mutex (fun () ->
+        let was_closed = t.closed in
+        t.closed <- true;
+        Condition.broadcast t.has_work;
+        was_closed)
+  in
   if not was_closed then begin
     List.iter Domain.join t.workers;
     t.workers <- []

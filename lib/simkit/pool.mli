@@ -18,6 +18,12 @@
 
 type t
 
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and always releases [m],
+    also when [f] raises.  This is the only locking idiom the codebase
+    uses (enforced by the [lock-safety] lint rule); bare
+    [Mutex.lock]/[Mutex.unlock] pairs leak the lock on exceptions. *)
+
 val default_num_domains : unit -> int
 (** [Domain.recommended_domain_count () - 1] (one core left for the
     submitting domain), never below 1. *)
@@ -53,7 +59,11 @@ val map : t -> int -> (int -> 'a) -> 'a array
     lowest-indexed} failing task is re-raised in the caller (with its
     backtrace) after the batch completes — the same exception a
     sequential left-to-right loop would surface, independent of
-    scheduling. *)
+    scheduling.  An exception that escapes the task wrapper itself
+    (e.g. from trace emission) cannot be attributed to a slot; the
+    first such failure is recorded in the pool and re-raised from the
+    next batch wait instead of being dropped.  Workers survive either
+    kind of failure, so the pool stays usable afterwards. *)
 
 val run : t -> (unit -> 'a) list -> 'a list
 (** {!map} over a list of thunks, preserving list order. *)

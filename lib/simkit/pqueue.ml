@@ -31,6 +31,7 @@ let grow a dummy needed =
   Array.blit a 0 b 0 (Array.length a);
   b
 
+(* lint: hot *)
 let stage q x =
   if q.staged = Array.length q.batch then
     q.batch <- grow q.batch q.dummy (q.staged + 1);
@@ -88,6 +89,7 @@ let iter q f =
 let get q i =
   if i < 0 || i >= q.size then invalid_arg "Pqueue.get: index out of bounds";
   q.data.(i)
+(* lint: hot-end *)
 
 let clear q =
   Array.fill q.data 0 q.size q.dummy;

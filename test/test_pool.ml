@@ -64,6 +64,39 @@ let test_exception_propagates_lowest_index () =
             (Pool.map pool 3 (fun i -> i))))
     [ 1; 4 ]
 
+exception Boom
+
+let test_run_propagates_exceptions () =
+  List.iter
+    (fun num_domains ->
+      Pool.with_pool ~num_domains (fun pool ->
+          Alcotest.check_raises
+            (Printf.sprintf "thunk exception reaches caller (jobs=%d)"
+               num_domains)
+            Boom
+            (fun () ->
+              ignore (Pool.run pool [ (fun () -> 1); (fun () -> raise Boom) ]));
+          (* The failed batch neither kills a worker nor poisons later
+             batches. *)
+          Alcotest.(check (list int)) "pool still usable" [ 7; 8 ]
+            (Pool.run pool [ (fun () -> 7); (fun () -> 8) ])))
+    [ 1; 4 ]
+
+let test_with_lock_returns_and_releases () =
+  let m = Mutex.create () in
+  Alcotest.(check int) "passes the result through" 3
+    (Pool.with_lock m (fun () -> 3));
+  (* Released on normal exit: an immediate re-lock must succeed. *)
+  Alcotest.(check bool) "relockable" true (Mutex.try_lock m);
+  Mutex.unlock m
+
+let test_with_lock_releases_on_exception () =
+  let m = Mutex.create () in
+  Alcotest.check_raises "exception passes through" Boom (fun () ->
+      Pool.with_lock m (fun () -> raise Boom));
+  Alcotest.(check bool) "released after raise" true (Mutex.try_lock m);
+  Mutex.unlock m
+
 let test_run_preserves_list_order () =
   Pool.with_pool ~num_domains:2 (fun pool ->
       let thunks = List.init 20 (fun i () -> 2 * i) in
@@ -167,6 +200,12 @@ let () =
             test_map_empty_and_single;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates_lowest_index;
+          Alcotest.test_case "run propagates exceptions" `Quick
+            test_run_propagates_exceptions;
+          Alcotest.test_case "with_lock returns and releases" `Quick
+            test_with_lock_returns_and_releases;
+          Alcotest.test_case "with_lock releases on exception" `Quick
+            test_with_lock_releases_on_exception;
           Alcotest.test_case "run preserves order" `Quick
             test_run_preserves_list_order;
           Alcotest.test_case "shutdown" `Quick
