@@ -18,9 +18,15 @@
 
    Each FIG* table regenerates the rows/series of the corresponding
    figure of the paper; micro runs Bechamel on the core operations;
-   overhead-check verifies the null telemetry sink costs nothing.
+   overhead-check verifies the null telemetry sink costs nothing;
+   chaos sweeps the concurrent executor under deterministic fault
+   plans (Faultkit) against its fault-free twin.
    Exit status: 0 on success, 1 on a failed overhead check, 2 on a bad
    flag or artifact name. *)
+
+(* --check-invariants: audit every final tree with Bstnet.Check.structural
+   (and, in chaos runs, after every repair).  Set once at startup. *)
+let check_invariants_flag = ref false
 
 let micro fmt =
   let open Bechamel in
@@ -110,8 +116,8 @@ let timed_matrix ?(sink = Obskit.Sink.null) (options : Runtime.Figures.options) 
               Runtime.Experiment.run_cell ?pool ~scale:options.Runtime.Figures.scale
                 ~seeds:options.Runtime.Figures.seeds
                 ~lambda:options.Runtime.Figures.lambda
-                ~base_seed:options.Runtime.Figures.base_seed ~sink ~workload
-                ~algo ()
+                ~base_seed:options.Runtime.Figures.base_seed ~sink
+                ~check_invariants:!check_invariants_flag ~workload ~algo ()
             in
             (c, Unix.gettimeofday () -. t0))
           Runtime.Algo.all)
@@ -176,6 +182,7 @@ let export_csv ?(sink = Obskit.Sink.null) dir
           ~seeds:options.Runtime.Figures.seeds
           ~lambda:options.Runtime.Figures.lambda
           ~base_seed:options.Runtime.Figures.base_seed ~sink
+          ~check_invariants:!check_invariants_flag
           ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ())
   in
   let path = Filename.concat dir "measurements.csv" in
@@ -290,17 +297,116 @@ let perf ?(reps = 3) (options : Runtime.Figures.options) json fmt =
       Format.fprintf fmt "wrote %d perf cells to %s@." (List.length cells) path
   | None -> ()
 
+(* The fault plans of the chaos sweep: one stressor per fault family
+   plus a kitchen-sink mix.  Rates are low enough that every run still
+   drains well inside the round budget; the plan text (printed and
+   exported) reproduces any row by itself. *)
+let chaos_plans =
+  let open Faultkit.Plan in
+  [
+    ( "crash-light",
+      make ~seed:11
+        [ crash ~at:(periodic 25) ~duration:5 (random_nodes ~rate:0.02) ] );
+    ("crash-deep", make ~seed:12 [ crash ~at:(periodic 40) ~duration:8 deepest ]);
+    ("lossy", make ~seed:13 [ lose ~rate:0.02 ]);
+    ( "dup-delay",
+      make ~seed:14 [ duplicate ~rate:0.01; delay ~rate:0.02 ~rounds:3 ] );
+    ("abort", make ~seed:15 [ abort_rotations ~rate:0.1 ]);
+    ( "everything",
+      make ~seed:16
+        [
+          crash ~at:(periodic 30) ~duration:5 (random_nodes ~rate:0.01);
+          lose ~rate:0.01;
+          duplicate ~rate:0.005;
+          delay ~rate:0.01 ~rounds:2;
+          abort_rotations ~rate:0.05;
+        ] );
+  ]
+
+(* Chaos sweep: each workload runs once fault-free (the twin) and once
+   per plan with invariant checking after every repair and at the end.
+   A run that fails to drain within the round budget or corrupts the
+   tree raises — chaos is a correctness gate, not just a table. *)
+let chaos (options : Runtime.Figures.options) json fmt =
+  let seed = options.Runtime.Figures.base_seed in
+  let rows =
+    List.concat_map
+      (fun workload ->
+        let trace =
+          Runtime.Experiment.trace_for ~scale:Workloads.Catalog.Smoke
+            ~lambda:options.Runtime.Figures.lambda ~workload ~seed ()
+        in
+        let n = trace.Workloads.Trace.n in
+        let runs = Workloads.Trace.to_runs trace in
+        let clean = Cbnet.Concurrent.run (Bstnet.Build.balanced n) runs in
+        List.map
+          (fun (name, plan) ->
+            let t0 = Unix.gettimeofday () in
+            let stats =
+              Cbnet.Concurrent.run ~max_rounds:2_000_000 ~faults:plan
+                ~check_invariants:true (Bstnet.Build.balanced n) runs
+            in
+            let wall = Unix.gettimeofday () -. t0 in
+            ( name,
+              clean,
+              {
+                Runtime.Export.workload;
+                plan = Faultkit.Plan.to_string plan;
+                seed;
+                stats;
+                clean_makespan = clean.Cbnet.Run_stats.makespan;
+                wall_seconds = wall;
+              } ))
+          chaos_plans)
+      Workloads.Catalog.paper_six
+  in
+  Format.fprintf fmt
+    "== CHAOS: concurrent executor under fault injection (smoke scale, \
+     seed=%d, invariants checked) ==@."
+    seed;
+  List.iter
+    (fun (name, (clean : Cbnet.Run_stats.t), (r : Runtime.Export.chaos_row)) ->
+      let s = r.Runtime.Export.stats in
+      let c = s.Cbnet.Run_stats.chaos in
+      let inflation =
+        if clean.Cbnet.Run_stats.makespan > 0 then
+          float_of_int s.Cbnet.Run_stats.makespan
+          /. float_of_int clean.Cbnet.Run_stats.makespan
+        else 0.0
+      in
+      Format.fprintf fmt
+        "%-14s %-12s delivered=%-5d makespan=%-6d (x%.2f) crashes=%-4d \
+         parks=%-5d lost=%-4d dup=%-3d delayed=%-4d repairs=%-3d wall=%.3fs@."
+        r.Runtime.Export.workload name s.Cbnet.Run_stats.messages
+        s.Cbnet.Run_stats.makespan inflation c.Cbnet.Run_stats.crashes
+        c.Cbnet.Run_stats.parks c.Cbnet.Run_stats.lost
+        c.Cbnet.Run_stats.duplicated c.Cbnet.Run_stats.delayed
+        c.Cbnet.Run_stats.repairs r.Runtime.Export.wall_seconds)
+    rows;
+  Format.fprintf fmt "all runs drained; invariants held after every repair@.";
+  match json with
+  | Some path ->
+      Runtime.Export.chaos_json ~commit:(detect_commit ())
+        ~timestamp:(iso8601_now ())
+        (List.map (fun (_, _, r) -> r) rows)
+        path;
+      Format.fprintf fmt "wrote %d chaos rows to %s@." (List.length rows) path
+  | None -> ()
+
 let usage =
   "usage: main.exe [--full] [--seeds N] [--jobs N] [--csv DIR] [--json FILE] \
-   [--trace FILE] [--metrics FILE] [--mode ARTIFACT] [ARTIFACT ...]\n\
+   [--trace FILE] [--metrics FILE] [--check-invariants] [--mode ARTIFACT] \
+   [ARTIFACT ...]\n\
    artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
-   micro bench-smoke overhead-check perf\n\
+   micro bench-smoke overhead-check perf chaos\n\
    (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
   \ best combined with --json; --mode NAME is an alias for naming NAME)\n\
    --jobs N parallelizes seed runs over N domains (default: CBNET_JOBS, else\n\
   \ cores - 1); results are bit-identical at every setting.\n\
    --trace FILE writes a Chrome/Perfetto trace of the matrix runs\n\
-  \ (bench-smoke, --json, --csv); --metrics FILE writes Prometheus text."
+  \ (bench-smoke, --json, --csv); --metrics FILE writes Prometheus text.\n\
+   --check-invariants audits every final tree with Bstnet.Check.structural;\n\
+  \ chaos always checks, including after every mid-run repair."
 
 let die fmt =
   Format.kasprintf
@@ -349,6 +455,9 @@ let () =
         parse rest
     | "--metrics" :: file :: rest ->
         metrics := Some file;
+        parse rest
+    | "--check-invariants" :: rest ->
+        check_invariants_flag := true;
         parse rest
     | "--mode" :: name :: rest ->
         names := name :: !names;
@@ -435,6 +544,7 @@ let () =
                     c.Runtime.Experiment.makespan.Simkit.Stats.mean wall)
                 (timed_matrix ~sink smoke_options) );
       ("overhead-check", fun () -> overhead_check smoke_options);
+      ("chaos", fun () -> chaos smoke_options !json fmt);
       ( "perf",
         fun () ->
           let perf_options =
@@ -458,8 +568,11 @@ let () =
   (match !csv with Some dir -> export_csv ~sink dir options | None -> ());
   (match !json with
   | Some path
-    when not (List.mem "bench-smoke" names || List.mem "perf" names) ->
-      (* bench-smoke and perf write the JSON themselves. *)
+    when
+      not
+        (List.mem "bench-smoke" names || List.mem "perf" names
+        || List.mem "chaos" names) ->
+      (* bench-smoke, perf and chaos write the JSON themselves. *)
       export_json ~sink options path
   | _ -> ());
   (match names with

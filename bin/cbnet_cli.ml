@@ -81,9 +81,18 @@ let metrics_file_arg =
           "Write run metrics to $(docv) in the Prometheus text exposition \
            format.")
 
+let check_invariants_arg =
+  Arg.(
+    value & flag
+    & info [ "check-invariants" ]
+        ~doc:
+          "Audit the final tree with the structural invariant suite \
+           (parent/child links, BST order, interval labels) and fail on a \
+           violation.")
+
 let run_cmd =
   let doc = "Run one algorithm on one workload and print its statistics." in
-  let run workload algo trace_file metrics_file options =
+  let run workload algo trace_file metrics_file check_invariants options =
     let trace =
       Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
         ~lambda:options.Runtime.Figures.lambda ~workload
@@ -108,7 +117,7 @@ let run_cmd =
         | Some reg -> [ Runtime.Telemetry.metrics_sink reg ]
         | None -> [])
     in
-    let stats = Runtime.Algo.run ~sink algo trace in
+    let stats = Runtime.Algo.run ~sink ~check_invariants algo trace in
     Format.printf "%s: %a@." (Runtime.Algo.name algo) Cbnet.Run_stats.pp stats;
     (match (trace_file, ring) with
     | Some path, Some r ->
@@ -129,7 +138,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ algo_arg $ trace_file_arg $ metrics_file_arg
-      $ options_term)
+      $ check_invariants_arg $ options_term)
 
 let complexity_cmd =
   let doc = "Measure the trace complexity (T, NT, Psi) of a workload." in

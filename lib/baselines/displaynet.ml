@@ -359,6 +359,7 @@ let to_stats st config rounds =
     bypasses = !bypasses;
     update_messages = 0;
     rounds;
+    chaos = Cbnet.Run_stats.no_chaos;
   }
 
 let dump_active st fmt () =

@@ -53,4 +53,5 @@ let run ?(config = Cbnet.Config.default) t trace =
     bypasses = 0;
     update_messages = 0;
     rounds = makespan;
+    chaos = Cbnet.Run_stats.no_chaos;
   }

@@ -21,6 +21,7 @@ let run ?config:(_ = Cbnet.Config.default) t trace =
     bypasses = 0;
     update_messages = 0;
     rounds = 0;
+    chaos = Cbnet.Run_stats.no_chaos;
   }
 
 let balanced_tree n = Bstnet.Build.balanced n

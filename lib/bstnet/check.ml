@@ -104,10 +104,13 @@ let weights ?counters t =
   ignore (visit (Topology.root t));
   match !violation with Some msg -> Error msg | None -> Ok ()
 
-let all ?counters t =
+let structural t =
   let* () = structure t in
   let* () = bst_order t in
-  let* () = interval_labels t in
+  interval_labels t
+
+let all ?counters t =
+  let* () = structural t in
   weights ?counters t
 
 let assert_ok = function Ok () -> () | Error msg -> failwith msg

@@ -17,8 +17,16 @@ val weights : ?counters:int array -> Topology.t -> (unit, string) result
     and counters are non-negative; when [counters] is given, the
     derived counters must equal it. *)
 
+val structural : Topology.t -> (unit, string) result
+(** {!structure}, {!bst_order} and {!interval_labels} in sequence —
+    everything except {!weights}.  This is the suite run-time invariant
+    gates use: weight sums are a {e flow} property, exact only relative
+    to the weight-update deposits still in flight, so a mid-run (or
+    even end-of-run) tree of a concurrent execution can legitimately
+    fail {!weights} while being perfectly well-formed. *)
+
 val all : ?counters:int array -> Topology.t -> (unit, string) result
-(** All of the above in sequence. *)
+(** All of the above in sequence ({!structural} then {!weights}). *)
 
 val assert_ok : (unit, string) result -> unit
 (** @raise Failure with the violation description on [Error]. *)

@@ -73,6 +73,12 @@ let set_child t ~parent:p ~child:c =
   t.version.(p) <- t.version.(p) + 1;
   t.version.(c) <- t.version.(c) + 1
 
+let set_root t v =
+  if t.parent.(v) <> nil then
+    invalid_arg "Topology.set_root: node has a parent";
+  t.root <- v;
+  t.version.(v) <- t.version.(v) + 1
+
 let refresh_local t v =
   let l = t.left.(v) and r = t.right.(v) in
   t.smallest.(v) <- (if l = nil then v else t.smallest.(l));
@@ -153,6 +159,55 @@ let rotate_up t x =
   let wxr = if xr = nil then 0 else t.weight.(xr) in
   t.weight.(x) <- cx + wxl + wxr;
   t.rank_memo.(x) <- -1.0
+
+(* The torn prefix of {!rotate_up}: the pair's local link surgery
+   completes (B transferred, x over p), but the node "dies" before the
+   two follow-up actions — swinging the grandparent's child pointer
+   (or the root pointer) to x, and recomputing the pair's interval
+   labels and weight aggregates.  The result deliberately violates
+   [Check.structure]/[interval_labels]/[weights]; [Faultkit.Repair]
+   rolls the rotation forward from this state. *)
+let rotate_up_torn t x =
+  let p = t.parent.(x) in
+  if p = nil then invalid_arg "Topology.rotate_up_torn: node is the root";
+  let g = t.parent.(p) in
+  if t.left.(p) = x then begin
+    let b = t.right.(x) in
+    t.left.(p) <- b;
+    if b <> nil then t.parent.(b) <- p;
+    if b <> nil then t.version.(b) <- t.version.(b) + 1;
+    t.right.(x) <- p
+  end
+  else begin
+    let b = t.left.(x) in
+    t.right.(p) <- b;
+    if b <> nil then t.parent.(b) <- p;
+    if b <> nil then t.version.(b) <- t.version.(b) + 1;
+    t.left.(x) <- p
+  end;
+  t.version.(x) <- t.version.(x) + 1;
+  t.version.(p) <- t.version.(p) + 1;
+  t.parent.(p) <- x;
+  t.parent.(x) <- g
+
+(* Restore one node's derived state — interval labels and weight
+   aggregate — from its (already correct) children plus its durable
+   node counter.  Unlike {!refresh_local} this does not read the
+   node's own stale aggregate: after a torn rotation [counter t v]
+   computed from unrecomputed weights is garbage, so the caller
+   supplies the counter captured before the tear. *)
+(* No non-negativity guard on [counter]: like [rotate_up]'s own derived
+   cx/cp, a counter read mid-flow (weight-update deposits in flight)
+   can be legitimately negative, and repair must tolerate exactly the
+   weight states the healthy rotation path does. *)
+let repair_local t v ~counter =
+  let l = t.left.(v) and r = t.right.(v) in
+  t.smallest.(v) <- (if l = nil then v else t.smallest.(l));
+  t.largest.(v) <- (if r = nil then v else t.largest.(r));
+  let wl = if l = nil then 0 else t.weight.(l) in
+  let wr = if r = nil then 0 else t.weight.(r) in
+  t.weight.(v) <- counter + wl + wr;
+  t.rank_memo.(v) <- -1.0
 
 type direction = Up | Down_left | Down_right | Here
 

@@ -72,6 +72,11 @@ val set_child : t -> parent:int -> child:int -> unit
     refreshed — the caller must call {!refresh_upward}, or use the
     builders in {!Build}, which do this for you. *)
 
+val set_root : t -> int -> unit
+(** Declare a parentless node the root (used by [Faultkit.Repair] to
+    complete a torn rotation whose victim was promoted over the old
+    root).  @raise Invalid_argument if the node has a parent. *)
+
 val refresh_local : t -> int -> unit
 (** Recompute [smallest]/[largest]/[weight] of one node from its
     children (children must already be correct). *)
@@ -92,6 +97,26 @@ val rotate_up : t -> int -> unit
     Updates links, interval labels and subtree weights of the two
     nodes involved; O(1).
     @raise Invalid_argument if [x] is the root. *)
+
+val rotate_up_torn : t -> int -> unit
+(** Fault-injection hook ([Faultkit]): perform only the torn prefix of
+    [rotate_up t x] — the rotated pair's local link surgery — leaving
+    the grandparent's child pointer (or the root pointer) stale and
+    the pair's interval labels and weight aggregates unrecomputed.
+    The tree {e deliberately} violates the {!Check} invariants until
+    the rotation is rolled forward ({!set_child}/{!set_root} plus
+    {!repair_local} with the pair's pre-tear counters).
+    @raise Invalid_argument if [x] is the root. *)
+
+val repair_local : t -> int -> counter:int -> unit
+(** [repair_local t v ~counter] rebuilds [v]'s derived state —
+    interval labels and weight aggregate — from its (already correct)
+    children and the given durable node counter [c(v)].  Unlike
+    {!refresh_local} it never reads [v]'s own stale aggregate, so it
+    is usable on a tree damaged by {!rotate_up_torn}; repair proceeds
+    bottom-up (demoted node first).  A negative [counter] is accepted:
+    counters read mid-flow (weight-update deposits in flight) can dip
+    below zero, just as {!rotate_up}'s own derived counters can. *)
 
 type direction = Up | Down_left | Down_right | Here
 

@@ -33,6 +33,10 @@ type state = {
   trace : (int * int * int) array;
   window : int;  (* admission control: max data messages in flight *)
   sink : Obskit.Sink.t;  (* telemetry; Sink.null compiles to no-ops *)
+  faults : Faultkit.Injector.t option;
+      (* fault injection (Faultkit); [None] keeps the executor on the
+         plain hot path, bit-identical to pre-faultkit behaviour *)
+  check : bool;  (* verify Bstnet.Check.structural after every repair *)
   arena : Arena.t;  (* all messages ever created, by id *)
   queue : M.t Simkit.Pqueue.t;  (* undelivered, in priority order *)
   plan : Step.t;  (* the reusable plan buffer *)
@@ -82,10 +86,11 @@ let spawner st ~origin ~first_increment =
   else Simkit.Pqueue.stage st.queue u
 (* lint: hot-end *)
 
-let create config ~window ~sink t trace =
+let create config ~window ~sink ~faults ~check t trace =
   validate t trace;
   if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
-  (* Exactly one update per data message, so the arena never grows. *)
+  (* Exactly one update per data message, so the arena never grows
+     (fault-injected duplicates take the amortized growth path). *)
   let capacity = max 16 (2 * Array.length trace) in
   let dummy = M.data ~id:(-1) ~src:0 ~dst:0 ~birth:0 in
   let st =
@@ -95,6 +100,8 @@ let create config ~window ~sink t trace =
       trace;
       window;
       sink;
+      faults;
+      check;
       arena = Arena.create ~capacity;
       queue =
         Simkit.Pqueue.create
@@ -189,55 +196,61 @@ let claim st ~round =
     st.claimed_rot.(v3) <- rotate
   end
 
+(* Record a lost conflict on the message (+ optional event). *)
+let record_conflict st ~round ~traced (msg : M.t) ~was_rotation =
+  if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
+  else msg.M.pauses <- msg.M.pauses + 1;
+  if traced then
+    (* lint: allow no-alloc -- closure built only when tracing is on *)
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Conflict
+          {
+            round;
+            msg = msg.M.id;
+            kind =
+              (if was_rotation then Obskit.Event.Bypass
+               else Obskit.Event.Pause);
+          })
+
+(* Commit the turn's plan: claim the cluster, apply the step, finish
+   the message if it arrived.  Shared by the conflict-free branch of
+   {!resolved_turn} and by the fault-injected path. *)
+let commit_plan st ~round ~traced (msg : M.t) =
+  let plan = st.plan in
+  claim st ~round;
+  if traced then
+    (* lint: allow no-alloc -- closure built only when tracing is on *)
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Cluster_claimed
+          {
+            round;
+            msg = msg.M.id;
+            cluster = Step.cluster plan;
+            rotate = plan.Step.rotate;
+          });
+  msg.M.shape_c0 <- M.shape_none;
+  Protocol.apply_step st.t ~spawn:st.spawn msg plan;
+  if traced && plan.Step.rotate then
+    (* lint: allow no-alloc -- closure built only when tracing is on *)
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Rotation
+          {
+            round;
+            msg = msg.M.id;
+            node = plan.Step.current;
+            count = plan.Step.rotations;
+            delta_phi = Step.delta_phi plan;
+          });
+  if msg.M.delivered then finish st msg
+
 (* Finish a turn whose buffer holds a complete (resolved) plan:
    conflict test on the final cluster, then claim + apply or record
    the pause/bypass. *)
 let resolved_turn st ~round ~traced (msg : M.t) =
-  let plan = st.plan in
   let conflict = cluster_conflict st ~round in
-  if conflict <> conflict_free then begin
-    let was_rotation = conflict = 1 in
-    if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
-    else msg.M.pauses <- msg.M.pauses + 1;
-    if traced then
-      (* lint: allow no-alloc -- closure built only when tracing is on *)
-      Obskit.Sink.record st.sink (fun () ->
-          Obskit.Event.Conflict
-            {
-              round;
-              msg = msg.M.id;
-              kind =
-                (if was_rotation then Obskit.Event.Bypass
-                 else Obskit.Event.Pause);
-            })
-  end
-  else begin
-    claim st ~round;
-    if traced then
-      (* lint: allow no-alloc -- closure built only when tracing is on *)
-      Obskit.Sink.record st.sink (fun () ->
-          Obskit.Event.Cluster_claimed
-            {
-              round;
-              msg = msg.M.id;
-              cluster = Step.cluster plan;
-              rotate = plan.Step.rotate;
-            });
-    msg.M.shape_c0 <- M.shape_none;
-    Protocol.apply_step st.t ~spawn:st.spawn msg plan;
-    if traced && plan.Step.rotate then
-      (* lint: allow no-alloc -- closure built only when tracing is on *)
-      Obskit.Sink.record st.sink (fun () ->
-          Obskit.Event.Rotation
-            {
-              round;
-              msg = msg.M.id;
-              node = plan.Step.current;
-              count = plan.Step.rotations;
-              delta_phi = Step.delta_phi plan;
-            });
-    if msg.M.delivered then finish st msg
-  end
+  if conflict <> conflict_free then
+    record_conflict st ~round ~traced msg ~was_rotation:(conflict = 1)
+  else commit_plan st ~round ~traced msg
 (* lint: hot-end *)
 
 (* Traced turn: full plan up front (Step_planned must carry ΔΦ). *)
@@ -353,8 +366,178 @@ let untraced_turn st ~round (msg : M.t) =
   end
   else untraced_probe_turn st ~round msg
 
+(* lint: hot-end *)
+
+(* ------------------------------------------------------------------
+   Fault-injected path (Faultkit).  Every turn of a run with a fault
+   plan goes through {!faulty_turn} — traced or not — so the fault
+   draws never depend on whether telemetry is on and a traced chaos
+   run computes the exact same statistics as an untraced one.  The
+   plan is always fully resolved (no probe shortcut, no shape cache):
+   chaos runs pay for clarity, the fault-free hot path above stays
+   untouched. *)
+
+(* The run-time gate audits the structural suite only: weight sums are
+   a flow property, exact only once every weight-update message has
+   deposited, so a mid-run (or end-of-run) tree legitimately fails
+   Check.weights while being perfectly well-formed. *)
+let check_now st =
+  match Bstnet.Check.structural st.t with
+  | Ok () -> ()
+  | Error e -> failwith ("Concurrent: invariant violated after repair: " ^ e)
+
+(* True when some node of the plan's cluster is crashed: the step
+   cannot execute and the message parks, charging makespan only —
+   a crash is not a cluster conflict, so no pause/bypass is counted. *)
+let cluster_down inj (p : Step.t) =
+  let down v = v <> T.nil && Faultkit.Injector.is_down inj v in
+  down p.Step.cluster0 || down p.Step.cluster1 || down p.Step.cluster2
+  || down p.Step.cluster3
+
+(* A message dropped in transit re-arms at its source with its birth
+   (priority and makespan anchor, Sec. VII-A) and its [update_spawned]
+   flag preserved: the retransmission is part of serving the original
+   request, and the single weight update per request stays single. *)
+let rearm (msg : M.t) =
+  msg.M.current <- msg.M.src;
+  msg.M.phase <- M.Climbing;
+  msg.M.up_credit <- T.nil;
+  msg.M.shape_c0 <- M.shape_none
+
+(* A duplicated data message: fresh identity, same endpoints and birth,
+   forked at the original's current position.  It must never spawn a
+   second weight update.  Staged, so it joins the queue next round. *)
+let spawn_duplicate st (msg : M.t) =
+  let twin =
+    Arena.alloc_data st.arena ~src:msg.M.src ~dst:msg.M.dst ~birth:msg.M.birth
+  in
+  twin.M.current <- msg.M.current;
+  twin.M.phase <- msg.M.phase;
+  twin.M.update_spawned <- true;
+  st.live <- st.live + 1;
+  st.live_data <- st.live_data + 1;
+  Simkit.Pqueue.stage st.queue twin;
+  twin
+
+(* Tear the first elementary rotation of the plan mid-flight — pair
+   link surgery only, leaving the node above with a stale child
+   pointer and the pair's labels and weight sums unrecomputed — then
+   run the local repair protocol and (in check mode) verify the full
+   invariant suite.  The cluster is claimed first: the torn nodes were
+   about to mutate and no other step may see the intermediate state
+   this round. *)
+let abort_rotation st inj ~round (msg : M.t) =
+  claim st ~round;
+  let x = Step.first_rotation_node st.t st.plan in
+  if Obskit.Sink.enabled st.sink then begin
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Fault_injected
+          { round; kind = Obskit.Event.Abort; node = x; msg = msg.M.id });
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Repair_begin { round; node = x })
+  end;
+  let damage = Faultkit.Repair.tear st.t x in
+  Faultkit.Repair.heal st.t damage;
+  Faultkit.Injector.note_repair inj;
+  if Obskit.Sink.enabled st.sink then
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Repair_done { round; node = x });
+  if st.check then check_now st;
+  msg.M.shape_c0 <- M.shape_none
+
+let faulty_turn st inj ~round (msg : M.t) =
+  if msg.M.asleep_until > round then () (* delayed in transit: skip *)
+  else if Faultkit.Injector.is_down inj msg.M.current then
+    (* Parked at a crashed node — checked before planning, so a dead
+       node performs no protocol side effects (LCA update spawns). *)
+    Faultkit.Injector.note_park inj
+  else if Protocol.begin_turn_into st.plan st.config st.t ~spawn:st.spawn msg
+  then begin
+    let plan = st.plan in
+    let traced = Obskit.Sink.enabled st.sink in
+    if traced then
+      Obskit.Sink.record st.sink (fun () ->
+          Obskit.Event.Step_planned
+            {
+              round;
+              msg = msg.M.id;
+              kind = Step.kind_to_string plan.Step.kind;
+              rotate = plan.Step.rotate;
+              delta_phi = Step.delta_phi plan;
+            });
+    if Faultkit.Injector.any_down inj && cluster_down inj plan then
+      Faultkit.Injector.note_park inj
+    else begin
+      let conflict = cluster_conflict st ~round in
+      if conflict <> conflict_free then
+        record_conflict st ~round ~traced msg ~was_rotation:(conflict = 1)
+      else if plan.Step.rotate && Faultkit.Injector.draw_abort inj then
+        abort_rotation st inj ~round msg
+      else begin
+        (* Commit draws, in fixed order: loss, duplication, delay.
+           Each zero-rate family consumes no randomness (see
+           Faultkit.Injector), so replays stay aligned. *)
+        let crossings =
+          (if plan.Step.passed0 <> T.nil then 1 else 0)
+          + if plan.Step.passed1 <> T.nil then 1 else 0
+        in
+        if crossings > 0 && Faultkit.Injector.draw_loss inj ~crossings
+        then begin
+          Faultkit.Injector.note_lost inj;
+          if traced then
+            Obskit.Sink.record st.sink (fun () ->
+                Obskit.Event.Msg_lost
+                  { round; msg = msg.M.id; node = msg.M.current });
+          rearm msg
+        end
+        else if
+          crossings > 0 && M.is_data msg
+          && Faultkit.Injector.draw_duplicate inj
+        then begin
+          let twin = spawn_duplicate st msg in
+          Faultkit.Injector.note_duplicated inj;
+          if traced then
+            Obskit.Sink.record st.sink (fun () ->
+                Obskit.Event.Fault_injected
+                  {
+                    round;
+                    kind = Obskit.Event.Duplicate;
+                    node = msg.M.current;
+                    msg = twin.M.id;
+                  });
+          commit_plan st ~round ~traced msg
+        end
+        else begin
+          let k = Faultkit.Injector.draw_delay inj in
+          if k > 0 then begin
+            msg.M.asleep_until <- round + k;
+            Faultkit.Injector.note_delayed inj;
+            if traced then
+              Obskit.Sink.record st.sink (fun () ->
+                  Obskit.Event.Fault_injected
+                    {
+                      round;
+                      kind = Obskit.Event.Delay;
+                      node = msg.M.current;
+                      msg = msg.M.id;
+                    })
+          end
+          else commit_plan st ~round ~traced msg
+        end
+      end
+    end
+  end
+  else finish st msg
+
+(* lint: hot *)
 let tick st round =
   st.cur_round <- round;
+  (* Fault-window maintenance and scheduled crashes happen at the
+     round boundary, before admission.  Without a plan the match is a
+     single branch — the hot path allocates nothing. *)
+  (match st.faults with
+  | None -> ()
+  | Some inj -> Faultkit.Injector.begin_round inj st.t st.sink ~round);
   let traced = Obskit.Sink.enabled st.sink in
   if traced then
     (* lint: allow no-alloc -- closure built only when tracing is on *)
@@ -371,8 +554,11 @@ let tick st round =
       if msg.M.delivered then false
       else begin
         st.cur_birth <- msg.M.birth;
-        if traced then traced_turn st ~round msg
-        else untraced_turn st ~round msg;
+        (match st.faults with
+        | Some inj -> faulty_turn st inj ~round msg
+        | None ->
+            if traced then traced_turn st ~round msg
+            else untraced_turn st ~round msg);
         not msg.M.delivered
       end);
   (* Φ is O(n) to compute, so it is sampled only on traced runs. *)
@@ -382,9 +568,18 @@ let tick st round =
         Obskit.Event.Phi_sample { round; phi = Potential.phi st.t })
 (* lint: hot-end *)
 
-let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t trace =
+let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) ?faults
+    ?(check_invariants = false) t trace =
   let window = default_window t window in
-  let st = create config ~window ~sink t trace in
+  let injector =
+    match faults with
+    | None -> None
+    | Some plan -> Some (Faultkit.Injector.create plan ~n:(T.n t))
+  in
+  let st =
+    create config ~window ~sink ~faults:injector ~check:check_invariants t
+      trace
+  in
   let sched =
     {
       Simkit.Engine.label = "cbn";
@@ -394,21 +589,44 @@ let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) t trace =
     }
   in
   let finalize rounds =
-    Run_stats.of_iter ~config ~rounds (fun f -> Arena.iter st.arena f)
+    let chaos =
+      match st.faults with
+      | None -> Run_stats.no_chaos
+      | Some inj ->
+          let s = Faultkit.Injector.snapshot inj in
+          {
+            Run_stats.crashes = s.Faultkit.Injector.crashes;
+            parks = s.Faultkit.Injector.parks;
+            lost = s.Faultkit.Injector.lost;
+            duplicated = s.Faultkit.Injector.duplicated;
+            delayed = s.Faultkit.Injector.delayed;
+            aborted_rotations = s.Faultkit.Injector.aborted_rotations;
+            repairs = s.Faultkit.Injector.repairs;
+          }
+    in
+    if check_invariants then Bstnet.Check.assert_ok (Bstnet.Check.structural st.t);
+    Run_stats.of_iter ~chaos ~config ~rounds (fun f -> Arena.iter st.arena f)
   in
   (st, sched, finalize)
 
-let scheduler ?config ?window ?sink t trace =
-  let _, sched, finalize = make ?config ?window ?sink t trace in
+let scheduler ?config ?window ?sink ?faults ?check_invariants t trace =
+  let _, sched, finalize =
+    make ?config ?window ?sink ?faults ?check_invariants t trace
+  in
   (sched, finalize)
 
-let run ?config ?window ?max_rounds ?sink t trace =
-  let sched, finalize = scheduler ?config ?window ?sink t trace in
+let run ?config ?window ?max_rounds ?sink ?faults ?check_invariants t trace =
+  let sched, finalize =
+    scheduler ?config ?window ?sink ?faults ?check_invariants t trace
+  in
   let rounds = Simkit.Engine.run_exn ?max_rounds sched in
   finalize rounds
 
-let run_with_latencies ?config ?window ?max_rounds ?sink t trace =
-  let st, sched, finalize = make ?config ?window ?sink t trace in
+let run_with_latencies ?config ?window ?max_rounds ?sink ?faults
+    ?check_invariants t trace =
+  let st, sched, finalize =
+    make ?config ?window ?sink ?faults ?check_invariants t trace
+  in
   let rounds = Simkit.Engine.run_exn ?max_rounds sched in
   let stats = finalize rounds in
   let count = ref 0 in

@@ -26,12 +26,37 @@ val run :
   ?window:int ->
   ?max_rounds:int ->
   ?sink:Obskit.Sink.t ->
+  ?faults:Faultkit.Plan.t ->
+  ?check_invariants:bool ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Run_stats.t
 (** [run t trace] executes [(birth, src, dst)] requests (sorted by
     birth) concurrently on [t], mutating it, and runs until both all
     data messages and all weight-update messages have drained.
+
+    [faults] injects deterministic faults (Faultkit, docs/ROBUSTNESS.md):
+    node-crash windows park messages whose acting node or step cluster
+    is down (charging makespan, never pauses/bypasses); in-transit
+    losses re-arm the message at its source with its original birth;
+    duplications fork an extra data message; delays put a message to
+    sleep for a few rounds; rotation aborts tear the first elementary
+    rotation mid-flight and immediately run the local repair protocol.
+    Faults, like everything else, are driven by the plan's own seeded
+    generator — the same plan on the same trace replays bit for bit.
+    The tallies land in {!Run_stats.t}'s [chaos] field.  When [faults]
+    is absent the executor takes the pre-faultkit allocation-free hot
+    path and every output — statistics, latencies, telemetry, final
+    tree — is bit-identical to a build without fault support.
+
+    [check_invariants] (default [false]) verifies the
+    {!Bstnet.Check.structural} suite — structure, BST order, interval
+    labels — on the final tree (and, under a fault plan, after every
+    repair), raising [Failure] on a violation.  Weight sums are
+    deliberately excluded: they are a flow property, exact only
+    relative to the weight-update deposits still in flight, so even a
+    fault-free run can end with messages whose deposits never
+    telescoped (clamped rotations, bypass re-climbs).
 
     [window] (default [max 64 n]) is source-side admission control: at
     most that many data messages are in the network simultaneously;
@@ -56,6 +81,8 @@ val run_with_latencies :
   ?window:int ->
   ?max_rounds:int ->
   ?sink:Obskit.Sink.t ->
+  ?faults:Faultkit.Plan.t ->
+  ?check_invariants:bool ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Run_stats.t * float array
@@ -68,6 +95,8 @@ val scheduler :
   ?config:Config.t ->
   ?window:int ->
   ?sink:Obskit.Sink.t ->
+  ?faults:Faultkit.Plan.t ->
+  ?check_invariants:bool ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Simkit.Engine.scheduler * (int -> Run_stats.t)

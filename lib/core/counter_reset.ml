@@ -22,6 +22,17 @@ let decay t ~factor =
   in
   ignore (rebuild (T.root t))
 
+let combine_chaos (a : Run_stats.chaos) (b : Run_stats.chaos) =
+  {
+    Run_stats.crashes = a.crashes + b.crashes;
+    parks = a.parks + b.parks;
+    lost = a.lost + b.lost;
+    duplicated = a.duplicated + b.duplicated;
+    delayed = a.delayed + b.delayed;
+    aborted_rotations = a.aborted_rotations + b.aborted_rotations;
+    repairs = a.repairs + b.repairs;
+  }
+
 let combine (a : Run_stats.t) (b : Run_stats.t) decay_slots =
   {
     Run_stats.messages = a.messages + b.messages;
@@ -36,6 +47,7 @@ let combine (a : Run_stats.t) (b : Run_stats.t) decay_slots =
     bypasses = a.bypasses + b.bypasses;
     update_messages = a.update_messages + b.update_messages;
     rounds = a.rounds + b.rounds + decay_slots;
+    chaos = combine_chaos a.chaos b.chaos;
   }
 
 let run_concurrent ?(config = Config.default) ?window ?(max_rounds = 100_000_000)

@@ -18,6 +18,10 @@ type t = {
   mutable steps : int;
   mutable pauses : int;
   mutable bypasses : int;
+  (* First round the message may act again after a fault-injected
+     delay (Faultkit); 0 = not sleeping.  Untouched on fault-free
+     runs. *)
+  mutable asleep_until : int;
   (* Step-shape cache for the concurrent executor's untraced fast
      path: the last probed core cluster + anchor and the structure
      versions of the core nodes at probe time (see
@@ -51,6 +55,7 @@ let make ~id ~kind ~src ~dst ~birth =
     steps = 0;
     pauses = 0;
     bypasses = 0;
+    asleep_until = 0;
     shape_c0 = shape_none;
     shape_c1 = Bstnet.Topology.nil;
     shape_c2 = Bstnet.Topology.nil;
@@ -76,6 +81,7 @@ let reinit m ~kind ~src ~dst ~birth =
   m.steps <- 0;
   m.pauses <- 0;
   m.bypasses <- 0;
+  m.asleep_until <- 0;
   m.shape_c0 <- shape_none
 
 let data ~id ~src ~dst ~birth = make ~id ~kind:Data ~src ~dst ~birth

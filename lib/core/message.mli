@@ -36,6 +36,10 @@ type t = {
   mutable steps : int;
   mutable pauses : int;  (** Conflicts suffered where the winner routed. *)
   mutable bypasses : int;  (** Conflicts suffered where the winner rotated. *)
+  mutable asleep_until : int;
+      (** First round the message may act again after a fault-injected
+          delay ([Faultkit]); 0 = not sleeping.  Untouched on
+          fault-free runs. *)
   mutable shape_c0 : int;
   mutable shape_c1 : int;
   mutable shape_c2 : int;

@@ -1,3 +1,28 @@
+type chaos = {
+  crashes : int;
+  parks : int;
+  lost : int;
+  duplicated : int;
+  delayed : int;
+  aborted_rotations : int;
+  repairs : int;
+}
+
+let no_chaos =
+  {
+    crashes = 0;
+    parks = 0;
+    lost = 0;
+    duplicated = 0;
+    delayed = 0;
+    aborted_rotations = 0;
+    repairs = 0;
+  }
+
+let chaos_is_zero c =
+  c.crashes = 0 && c.parks = 0 && c.lost = 0 && c.duplicated = 0
+  && c.delayed = 0 && c.aborted_rotations = 0 && c.repairs = 0
+
 type t = {
   messages : int;
   routing_hops : int;
@@ -11,9 +36,10 @@ type t = {
   bypasses : int;
   update_messages : int;
   rounds : int;
+  chaos : chaos;
 }
 
-let of_iter ~config ~rounds iter =
+let of_iter ?(chaos = no_chaos) ~config ~rounds iter =
   let messages = ref 0 in
   let hops = ref 0 in
   let rotations = ref 0 in
@@ -53,14 +79,22 @@ let of_iter ~config ~rounds iter =
     bypasses = !bypasses;
     update_messages = !updates;
     rounds;
+    chaos;
   }
 
-let of_messages ~config ~rounds msgs =
-  of_iter ~config ~rounds (fun f -> List.iter f msgs)
+let of_messages ?chaos ~config ~rounds msgs =
+  of_iter ?chaos ~config ~rounds (fun f -> List.iter f msgs)
 
 let pp fmt t =
   Format.fprintf fmt
     "m=%d routing=%d (hops=%d) rotations=%d work=%.0f makespan=%d \
      throughput=%.4f steps=%d pauses=%d bypasses=%d updates=%d rounds=%d"
     t.messages t.routing_cost t.routing_hops t.rotations t.work t.makespan
-    t.throughput t.steps t.pauses t.bypasses t.update_messages t.rounds
+    t.throughput t.steps t.pauses t.bypasses t.update_messages t.rounds;
+  (* Chaos columns appear only when faults actually fired, keeping
+     fault-free log lines byte-identical with pre-faultkit output. *)
+  if not (chaos_is_zero t.chaos) then
+    Format.fprintf fmt
+      " crashes=%d parks=%d lost=%d dup=%d delayed=%d aborts=%d repairs=%d"
+      t.chaos.crashes t.chaos.parks t.chaos.lost t.chaos.duplicated
+      t.chaos.delayed t.chaos.aborted_rotations t.chaos.repairs

@@ -1,6 +1,24 @@
 (** Aggregate cost accounting of one execution, following the cost
     model of Sec. II (Def. 1-3). *)
 
+type chaos = {
+  crashes : int;  (** Node-crash windows opened by the fault plan. *)
+  parks : int;
+      (** Turns skipped because the acting node or a cluster node was
+          down (each charges makespan, never pauses/bypasses). *)
+  lost : int;  (** Messages dropped in transit and re-armed at source. *)
+  duplicated : int;  (** Data messages duplicated in transit. *)
+  delayed : int;  (** Messages put to sleep by a delay fault. *)
+  aborted_rotations : int;  (** Rotations torn mid-flight by a fault. *)
+  repairs : int;  (** Local repairs run (one per aborted rotation). *)
+}
+(** Fault-injection tallies (Faultkit); all zero on fault-free runs. *)
+
+val no_chaos : chaos
+(** The all-zero tally. *)
+
+val chaos_is_zero : chaos -> bool
+
 type t = {
   messages : int;  (** [m], number of data messages in σ. *)
   routing_hops : int;
@@ -16,10 +34,15 @@ type t = {
   bypasses : int;  (** Rotation-under-message conflicts (concurrent only). *)
   update_messages : int;  (** Weight-update control messages emitted. *)
   rounds : int;  (** Rounds until full quiescence (updates drained). *)
+  chaos : chaos;  (** Fault-injection tallies; {!no_chaos} without faults. *)
 }
 
 val of_iter :
-  config:Config.t -> rounds:int -> ((Message.t -> unit) -> unit) -> t
+  ?chaos:chaos ->
+  config:Config.t ->
+  rounds:int ->
+  ((Message.t -> unit) -> unit) ->
+  t
 (** Fold delivered messages into the aggregate, visiting them through
     the given iterator (e.g. {!Arena.iter} partially applied) — every
     accumulation is order-independent, so any visit order produces the
@@ -28,11 +51,14 @@ val of_iter :
     only. *)
 
 val of_messages :
-  config:Config.t -> rounds:int -> Message.t list -> t
+  ?chaos:chaos -> config:Config.t -> rounds:int -> Message.t list -> t
 (** {!of_iter} over a list. *)
 
 val pp : Format.formatter -> t -> unit
-(** One-line [key=value] rendering.  Every field is printed even when
-    zero — in particular [pauses], [bypasses] and [rounds], which are
-    always 0 for sequential executions — so sequential and concurrent
-    runs produce the same columns and line up in logs and diffs. *)
+(** One-line [key=value] rendering.  Every fault-free field is printed
+    even when zero — in particular [pauses], [bypasses] and [rounds],
+    which are always 0 for sequential executions — so sequential and
+    concurrent runs produce the same columns and line up in logs and
+    diffs.  The chaos columns are appended only when some fault tally
+    is nonzero, keeping fault-free lines byte-identical with
+    pre-faultkit output. *)

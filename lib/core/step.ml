@@ -326,3 +326,16 @@ let execute t plan =
         let z = T.next_hop t ~src:y ~dst:plan.dst in
         T.rotate_up t z;
         T.rotate_up t z
+
+(* The node [execute] would promote first — mirrors the dispatch above
+   exactly, so a fault-injected abort tears the same elementary
+   rotation the healthy step would have started with. *)
+let first_rotation_node t plan =
+  match plan.kind with
+  | Bu_zig | Bu_semi_zig_zag -> plan.current
+  | Bu_semi_zig_zig -> T.parent t plan.current
+  | Td_zig | Td_semi_zig_zig ->
+      T.next_hop t ~src:plan.current ~dst:plan.dst
+  | Td_semi_zig_zag ->
+      let y = T.next_hop t ~src:plan.current ~dst:plan.dst in
+      T.next_hop t ~src:y ~dst:plan.dst

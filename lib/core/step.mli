@@ -136,3 +136,9 @@ val execute : Bstnet.Topology.t -> t -> unit
     [new_current] is the caller's bookkeeping.  The topology must not
     have changed since planning — the concurrent engine guarantees
     this with clusters; the sequential engine trivially. *)
+
+val first_rotation_node : Bstnet.Topology.t -> t -> int
+(** The node {!execute} would promote first for this (rotating) plan —
+    the tear point a fault-injected rotation abort targets, so the
+    abort damages exactly the elementary rotation the healthy step
+    would have started with. *)

@@ -1,0 +1,34 @@
+module T = Bstnet.Topology
+
+(* Node ids are ints (see the no-poly-compare lint rule). *)
+let ( = ) : int -> int -> bool = Int.equal
+
+type damage = {
+  torn : int;
+  demoted : int;
+  counter_torn : int;
+  counter_demoted : int;
+}
+
+let tear t x =
+  let p = T.parent t x in
+  if p = T.nil then invalid_arg "Faultkit.Repair.tear: node is the root";
+  (* Counters must be read before the surgery: afterwards the pair's
+     aggregates are stale and [T.counter] is garbage. *)
+  let counter_torn = T.counter t x and counter_demoted = T.counter t p in
+  T.rotate_up_torn t x;
+  { torn = x; demoted = p; counter_torn; counter_demoted }
+
+let heal t d =
+  let x = d.torn in
+  (* Roll forward.  The torn surgery already set x's parent to the old
+     grandparent (or nil); only the downward pointer is stale.  x lands
+     on the same side of the grandparent its old parent occupied (BST
+     order: x came from p's subtree), so [set_child] overwrites exactly
+     the stale slot. *)
+  let g = T.parent t x in
+  if g = T.nil then T.set_root t x else T.set_child t ~parent:g ~child:x;
+  (* Derived caches, bottom-up: the demoted node first (its children
+     are final), then the promoted node on top of it. *)
+  T.repair_local t d.demoted ~counter:d.counter_demoted;
+  T.repair_local t x ~counter:d.counter_torn

@@ -1,0 +1,36 @@
+(** Self-healing repair of torn rotations.
+
+    The fault model: {!Bstnet.Topology.rotate_up} is a node-local
+    composite of (a) the rotating pair's link surgery, (b) swinging
+    the node above the pair to the promoted node, and (c) recomputing
+    the pair's derived caches — interval labels and weight aggregates
+    — from its durable per-node counters.  A rotation that "dies
+    mid-flight" completes (a) but not (b) or (c)
+    ({!Bstnet.Topology.rotate_up_torn}), leaving a tree that fails
+    {!Bstnet.Check.structure}, [interval_labels] and [weights].
+
+    Repair {e rolls the rotation forward}: the promoted node still
+    knows its stale parent, so the protocol re-attaches it there (or
+    declares it root) and rebuilds the pair's derived state bottom-up
+    from the counters captured at tear time — the durable state a real
+    node would recover from its log.  After [heal] the tree is exactly
+    the tree the untorn rotation would have produced, and
+    {!Bstnet.Check.all} holds again. *)
+
+type damage = {
+  torn : int;  (** The node whose promotion tore ([x]). *)
+  demoted : int;  (** Its pre-tear parent, now its child ([p]). *)
+  counter_torn : int;  (** Durable counter [c(x)] captured pre-tear. *)
+  counter_demoted : int;  (** Durable counter [c(p)] captured pre-tear. *)
+}
+
+val tear : Bstnet.Topology.t -> int -> damage
+(** [tear t x] captures the pair's durable counters, performs the torn
+    rotation promoting [x], and returns the damage record [heal]
+    needs.  @raise Invalid_argument if [x] is the root. *)
+
+val heal : Bstnet.Topology.t -> damage -> unit
+(** Complete the torn rotation: swing the stale parent (or root)
+    pointer to the promoted node, then restore interval labels and
+    weight aggregates of the demoted and promoted nodes, in that
+    (bottom-up) order, from the captured counters. *)

@@ -1,6 +1,7 @@
 type conflict = Pause | Bypass
 type pool_phase = Enqueue | Start | Done
 type span_phase = Begin | End
+type fault = Duplicate | Delay | Abort
 
 type payload =
   | Round_begin of { round : int; active : int; live_data : int }
@@ -41,10 +42,21 @@ type payload =
       elapsed_us : float;
     }
   | Span of { name : string; phase : span_phase }
+  | Fault_injected of { round : int; kind : fault; node : int; msg : int }
+  | Node_down of { round : int; node : int; until : int }
+  | Node_up of { round : int; node : int }
+  | Msg_lost of { round : int; msg : int; node : int }
+  | Repair_begin of { round : int; node : int }
+  | Repair_done of { round : int; node : int }
 
 type t = { ts_us : float; domain : int; payload : payload }
 
 let conflict_to_string = function Pause -> "pause" | Bypass -> "bypass"
+
+let fault_to_string = function
+  | Duplicate -> "duplicate"
+  | Delay -> "delay"
+  | Abort -> "abort"
 
 let pool_phase_to_string = function
   | Enqueue -> "enqueue"
@@ -63,6 +75,12 @@ let name = function
   | Msg_delivered _ -> "msg_delivered"
   | Pool_task _ -> "pool_task"
   | Span _ -> "span"
+  | Fault_injected _ -> "fault_injected"
+  | Node_down _ -> "node_down"
+  | Node_up _ -> "node_up"
+  | Msg_lost _ -> "msg_lost"
+  | Repair_begin _ -> "repair_begin"
+  | Repair_done _ -> "repair_done"
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -118,6 +136,20 @@ let payload_fields buf = function
   | Span { name; phase } ->
       Printf.bprintf buf "\"name\":\"%s\",\"phase\":\"%s\"" (escape name)
         (span_phase_to_string phase)
+  | Fault_injected { round; kind; node; msg } ->
+      Printf.bprintf buf "\"round\":%d,\"kind\":\"%s\",\"node\":%d,\"msg\":%d"
+        round (fault_to_string kind) node msg
+  | Node_down { round; node; until } ->
+      Printf.bprintf buf "\"round\":%d,\"node\":%d,\"until\":%d" round node
+        until
+  | Node_up { round; node } ->
+      Printf.bprintf buf "\"round\":%d,\"node\":%d" round node
+  | Msg_lost { round; msg; node } ->
+      Printf.bprintf buf "\"round\":%d,\"msg\":%d,\"node\":%d" round msg node
+  | Repair_begin { round; node } ->
+      Printf.bprintf buf "\"round\":%d,\"node\":%d" round node
+  | Repair_done { round; node } ->
+      Printf.bprintf buf "\"round\":%d,\"node\":%d" round node
 
 let to_json t =
   let buf = Buffer.create 128 in

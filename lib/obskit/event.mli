@@ -18,6 +18,11 @@ type conflict = Pause | Bypass
 type pool_phase = Enqueue | Start | Done
 type span_phase = Begin | End
 
+type fault = Duplicate | Delay | Abort
+(** [Faultkit] injections that happen {e to} a message at step-commit
+    time; node crashes and message losses have their own payloads
+    ([Node_down]/[Node_up], [Msg_lost]). *)
+
 type payload =
   | Round_begin of { round : int; active : int; live_data : int }
       (** A scheduler round starts with [active] undelivered messages
@@ -65,11 +70,27 @@ type payload =
   | Span of { name : string; phase : span_phase }
       (** Experiment phases ([cell:...], [seed:...]); properly nested
           per emitting domain. *)
+  | Fault_injected of { round : int; kind : fault; node : int; msg : int }
+      (** A plan clause fired on a committing step: the message was
+          duplicated, put to sleep, or its rotation was aborted
+          mid-flight (triggering repair). *)
+  | Node_down of { round : int; node : int; until : int }
+      (** A crash window opened: the node is excluded from cluster
+          claiming until round [until]. *)
+  | Node_up of { round : int; node : int }  (** A crash window closed. *)
+  | Msg_lost of { round : int; msg : int; node : int }
+      (** The message was dropped crossing an edge at [node] and
+          re-armed at its source with its original birth. *)
+  | Repair_begin of { round : int; node : int }
+      (** Local repair of a torn rotation around [node] started. *)
+  | Repair_done of { round : int; node : int }
+      (** Repair finished; [Bstnet.Check.all] holds again. *)
 
 type t = { ts_us : float; domain : int; payload : payload }
 
 val conflict_to_string : conflict -> string
 val pool_phase_to_string : pool_phase -> string
+val fault_to_string : fault -> string
 
 val name : payload -> string
 (** Constructor name in snake case ("round_begin", "pool_task", ...). *)

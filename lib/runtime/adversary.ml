@@ -25,6 +25,17 @@ let combine (a : Cbnet.Run_stats.t) (b : Cbnet.Run_stats.t) =
     bypasses = a.bypasses + b.bypasses;
     update_messages = a.update_messages + b.update_messages;
     rounds = a.rounds + b.rounds;
+    chaos =
+      {
+        Cbnet.Run_stats.crashes = a.chaos.crashes + b.chaos.crashes;
+        parks = a.chaos.parks + b.chaos.parks;
+        lost = a.chaos.lost + b.chaos.lost;
+        duplicated = a.chaos.duplicated + b.chaos.duplicated;
+        delayed = a.chaos.delayed + b.chaos.delayed;
+        aborted_rotations =
+          a.chaos.aborted_rotations + b.chaos.aborted_rotations;
+        repairs = a.chaos.repairs + b.chaos.repairs;
+      };
   }
 
 let online_worst_case ~m t ~next exec =
@@ -45,3 +56,7 @@ let deep_access t =
 let run_deep_access_sequential ?config ~m t =
   online_worst_case ~m t ~next:deep_access (fun trace ->
       Cbnet.Sequential.run ?config t trace)
+
+let run_deep_access_concurrent ?config ?window ~m t =
+  online_worst_case ~m t ~next:deep_access (fun trace ->
+      Cbnet.Concurrent.run ?config ?window t trace)

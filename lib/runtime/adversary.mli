@@ -25,3 +25,13 @@ val deep_access : Bstnet.Topology.t -> int * int
 val run_deep_access_sequential :
   ?config:Cbnet.Config.t -> m:int -> Bstnet.Topology.t -> Cbnet.Run_stats.t
 (** Convenience: sequential CBNet under the {!deep_access} adversary. *)
+
+val run_deep_access_concurrent :
+  ?config:Cbnet.Config.t ->
+  ?window:int ->
+  m:int ->
+  Bstnet.Topology.t ->
+  Cbnet.Run_stats.t
+(** Convenience: the concurrent executor under the {!deep_access}
+    adversary, one single-request trace at a time (so every request
+    reacts to the tree the previous one left behind). *)

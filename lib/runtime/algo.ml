@@ -28,17 +28,34 @@ let is_static = function BT | OPT -> true | _ -> false
 let is_concurrent = function DSN | CBN | CBN_REF -> true | _ -> false
 
 let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
-    algo trace =
+    ?(check_invariants = false) algo trace =
   let n = trace.Workloads.Trace.n in
   let runs = Workloads.Trace.to_runs trace in
+  (* Keep the topology so the invariant suite can audit the final
+     tree; the concurrent executor also checks internally. *)
+  let check t stats =
+    if check_invariants then Bstnet.Check.assert_ok (Bstnet.Check.structural t);
+    stats
+  in
   match algo with
-  | BT -> Baselines.Static.run ~config (Bstnet.Build.balanced n) runs
-  | OPT -> Baselines.Static.run ~config (Baselines.Static.opt_tree ~n runs) runs
-  | SN -> Baselines.Splaynet.run ~config (Bstnet.Build.balanced n) runs
-  | DSN -> Baselines.Displaynet.run ~config (Bstnet.Build.balanced n) runs
-  | SCBN -> Cbnet.Sequential.run ~config ~sink (Bstnet.Build.balanced n) runs
+  | BT ->
+      let t = Bstnet.Build.balanced n in
+      check t (Baselines.Static.run ~config t runs)
+  | OPT ->
+      let t = Baselines.Static.opt_tree ~n runs in
+      check t (Baselines.Static.run ~config t runs)
+  | SN ->
+      let t = Bstnet.Build.balanced n in
+      check t (Baselines.Splaynet.run ~config t runs)
+  | DSN ->
+      let t = Bstnet.Build.balanced n in
+      check t (Baselines.Displaynet.run ~config t runs)
+  | SCBN ->
+      let t = Bstnet.Build.balanced n in
+      check t (Cbnet.Sequential.run ~config ~sink t runs)
   | CBN ->
-      Cbnet.Concurrent.run ~config ?window ~sink (Bstnet.Build.balanced n) runs
-  | CBN_REF ->
-      Cbnet.Concurrent.Reference.run ~config ?window ~sink
+      Cbnet.Concurrent.run ~config ?window ~sink ~check_invariants
         (Bstnet.Build.balanced n) runs
+  | CBN_REF ->
+      let t = Bstnet.Build.balanced n in
+      check t (Cbnet.Concurrent.Reference.run ~config ?window ~sink t runs)

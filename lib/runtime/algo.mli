@@ -34,6 +34,7 @@ val run :
   ?config:Cbnet.Config.t ->
   ?window:int ->
   ?sink:Obskit.Sink.t ->
+  ?check_invariants:bool ->
   t ->
   Workloads.Trace.t ->
   Cbnet.Run_stats.t
@@ -43,4 +44,13 @@ val run :
 
     [sink] (default null) forwards telemetry to the CBNet executions
     ({!Cbnet.Sequential} for SCBN, {!Cbnet.Concurrent} for CBN); the
-    baseline algorithms are not instrumented and ignore it. *)
+    baseline algorithms are not instrumented and ignore it.
+
+    [check_invariants] (default [false]) audits the final tree with
+    {!Bstnet.Check.structural} and raises [Failure] on a violation —
+    for every algorithm, since all of them mutate (or build) a
+    topology whose structural invariants must hold at the end.
+    Weight sums are excluded: they are exact only relative to
+    in-flight weight-update deposits, so concurrent (and even some
+    sequential) executions legitimately end with unreconciled
+    counters. *)

@@ -33,6 +33,7 @@ val run_cell :
   ?lambda:float ->
   ?base_seed:int ->
   ?sink:Obskit.Sink.t ->
+  ?check_invariants:bool ->
   workload:string ->
   algo:Algo.t ->
   unit ->
@@ -46,7 +47,10 @@ val run_cell :
     [sink] (default null) is forwarded to every per-seed execution
     ({!Algo.run}) and additionally receives a [cell:<workload>/<algo>]
     span around the cell and a [seed:...#i] span around each seed.
-    Traced measurements are bit-identical to untraced ones. *)
+    Traced measurements are bit-identical to untraced ones.
+
+    [check_invariants] (default [false]) audits every per-seed final
+    tree with {!Bstnet.Check.all} (see {!Algo.run}). *)
 
 val run_matrix :
   ?pool:Simkit.Pool.t ->
@@ -56,6 +60,7 @@ val run_matrix :
   ?lambda:float ->
   ?base_seed:int ->
   ?sink:Obskit.Sink.t ->
+  ?check_invariants:bool ->
   workloads:string list ->
   algos:Algo.t list ->
   unit ->

@@ -99,6 +99,48 @@ let bench_json ~commit ~timestamp cells path =
         cells;
       output_string oc "\n  ]\n}\n")
 
+type chaos_row = {
+  workload : string;
+  plan : string;
+  seed : int;
+  stats : Cbnet.Run_stats.t;
+  clean_makespan : int;
+  wall_seconds : float;
+}
+
+let chaos_json ~commit ~timestamp rows path =
+  with_out path (fun oc ->
+      Printf.fprintf oc "{\n  \"commit\": \"%s\",\n  \"timestamp\": \"%s\",\n"
+        (json_escape commit) (json_escape timestamp);
+      output_string oc "  \"rows\": [";
+      List.iteri
+        (fun i r ->
+          if i > 0 then output_string oc ",";
+          let s = r.stats in
+          let c = s.Cbnet.Run_stats.chaos in
+          let inflation =
+            if r.clean_makespan > 0 then
+              float_of_int s.Cbnet.Run_stats.makespan
+              /. float_of_int r.clean_makespan
+            else 0.0
+          in
+          Printf.fprintf oc
+            "\n    {\"workload\": \"%s\", \"plan\": \"%s\", \"seed\": %d, \
+             \"messages\": %d, \"makespan\": %d, \"clean_makespan\": %d, \
+             \"makespan_inflation\": %s, \"rounds\": %d, \"crashes\": %d, \
+             \"parks\": %d, \"lost\": %d, \"duplicated\": %d, \"delayed\": \
+             %d, \"aborted_rotations\": %d, \"repairs\": %d, \
+             \"wall_seconds\": %s}"
+            (json_escape r.workload) (json_escape r.plan) r.seed
+            s.Cbnet.Run_stats.messages s.Cbnet.Run_stats.makespan
+            r.clean_makespan (json_float inflation) s.Cbnet.Run_stats.rounds
+            c.Cbnet.Run_stats.crashes c.Cbnet.Run_stats.parks
+            c.Cbnet.Run_stats.lost c.Cbnet.Run_stats.duplicated
+            c.Cbnet.Run_stats.delayed c.Cbnet.Run_stats.aborted_rotations
+            c.Cbnet.Run_stats.repairs (json_float r.wall_seconds))
+        rows;
+      output_string oc "\n  ]\n}\n")
+
 let timeline_csv points path =
   with_out path (fun oc ->
       output_string oc
@@ -202,9 +244,56 @@ let chrome_trace events path =
             (json_float (ts -. elapsed_us))
             (json_float elapsed_us) task;
         ]
+    (* Fault-injection events (Faultkit).  Crash windows render as
+       "down" slices on a dedicated per-node process (pid 2, tid =
+       node id), so Perfetto shows node availability as lanes. *)
+    | E.Node_down { round; node; until } ->
+        [
+          sp
+            "{\"ph\":\"B\",\"pid\":2,\"tid\":%d,\"ts\":%s,\"name\":\"down\",\"cat\":\"fault\",\"args\":{\"round\":%d,\"until\":%d}}"
+            node (json_float ts) round until;
+        ]
+    | E.Node_up { round; node } ->
+        [
+          sp
+            "{\"ph\":\"E\",\"pid\":2,\"tid\":%d,\"ts\":%s,\"name\":\"down\",\"cat\":\"fault\",\"args\":{\"round\":%d}}"
+            node (json_float ts) round;
+        ]
+    | E.Fault_injected { round; kind; node; msg } ->
+        [
+          instant ~ts ~tid
+            (sp "fault_%s" (E.fault_to_string kind))
+            (sp "\"round\":%d,\"node\":%d,\"msg\":%d" round node msg);
+        ]
+    | E.Msg_lost { round; msg; node } ->
+        [
+          instant ~ts ~tid "msg_lost"
+            (sp "\"round\":%d,\"msg\":%d,\"node\":%d" round msg node);
+        ]
+    | E.Repair_begin { round; node } ->
+        [
+          sp
+            "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"repair\",\"cat\":\"fault\",\"args\":{\"round\":%d,\"node\":%d}}"
+            tid (json_float ts) round node;
+        ]
+    | E.Repair_done { round; node } ->
+        [
+          sp
+            "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"name\":\"repair\",\"cat\":\"fault\",\"args\":{\"round\":%d,\"node\":%d}}"
+            tid (json_float ts) round node;
+        ]
   in
   let domains =
     List.sort_uniq compare (List.map (fun (e : E.t) -> e.E.domain) events)
+  in
+  let fault_nodes =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : E.t) ->
+           match e.E.payload with
+           | E.Node_down { node; _ } -> Some node
+           | _ -> None)
+         events)
   in
   let meta =
     sp
@@ -215,6 +304,18 @@ let chrome_trace events path =
              "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"domain %d\"}}"
              d d)
          domains
+    @ (if fault_nodes = [] then []
+       else
+         [
+           sp
+             "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"cbnet-nodes\"}}";
+         ])
+    @ List.map
+        (fun v ->
+          sp
+            "{\"ph\":\"M\",\"pid\":2,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"node %d\"}}"
+            v v)
+        fault_nodes
   in
   let entries = meta @ List.concat_map of_event events in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";

@@ -27,6 +27,24 @@ val bench_json :
     ([bench/compare_bench.exe] diffs two of them).  Hand-rolled writer
     — no JSON dependency. *)
 
+type chaos_row = {
+  workload : string;
+  plan : string;  (** The fault plan's one-line text form. *)
+  seed : int;
+  stats : Cbnet.Run_stats.t;
+  clean_makespan : int;  (** Fault-free makespan of the same trace. *)
+  wall_seconds : float;
+}
+(** One [bench chaos] sweep point: a (workload, fault plan) execution
+    next to its fault-free twin. *)
+
+val chaos_json :
+  commit:string -> timestamp:string -> chaos_row list -> string -> unit
+(** Machine-readable chaos-sweep export ([BENCH_CHAOS.json]): one row
+    per (workload, plan) with delivery counts, makespan inflation over
+    the fault-free twin, and the full fault/repair tallies.
+    Hand-rolled writer — no JSON dependency. *)
+
 val timeline_csv : Timeline.point list -> string -> unit
 
 val latencies_csv : float array -> string -> unit

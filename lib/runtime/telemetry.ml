@@ -34,5 +34,14 @@ let recorder reg (ev : E.t) =
   | E.Pool_task { phase = E.Start; _ } -> ()
   | E.Span { phase = E.End; _ } -> M.incr reg "cbnet_spans_total"
   | E.Span { phase = E.Begin; _ } -> ()
+  | E.Fault_injected { kind; _ } ->
+      M.incr reg
+        (Printf.sprintf "cbnet_faults_total{kind=%S}" (E.fault_to_string kind))
+  | E.Node_down _ -> M.incr reg "cbnet_faults_total{kind=\"crash\"}"
+  | E.Msg_lost _ ->
+      M.incr reg "cbnet_faults_total{kind=\"loss\"}";
+      M.incr reg "cbnet_msgs_lost_total"
+  | E.Repair_done _ -> M.incr reg "cbnet_repairs_total"
+  | E.Node_up _ | E.Repair_begin _ -> ()
 
 let metrics_sink reg = Obskit.Sink.stream (recorder reg)

@@ -48,6 +48,37 @@ let test_adversary_on_degenerate_tree () =
   Alcotest.(check bool) "rotations sublinear in m" true
     (stats.Cbnet.Run_stats.rotations < m)
 
+let test_adversary_concurrent () =
+  (* The concurrent executor under the same deep-access adversary:
+     everything delivers, the amortized bound holds with the same
+     generous constant, and the final tree is structurally sound. *)
+  let n = 64 in
+  let m = 1000 in
+  let t = Bstnet.Build.balanced n in
+  let stats = Adversary.run_deep_access_concurrent ~m t in
+  Alcotest.(check int) "all delivered" m stats.Cbnet.Run_stats.messages;
+  let bound = 8.0 *. float_of_int m *. Float.log2 (float_of_int n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "work %.0f within 8 m log n = %.0f"
+       stats.Cbnet.Run_stats.work bound)
+    true
+    (stats.Cbnet.Run_stats.work <= bound);
+  Bstnet.Check.assert_ok (Bstnet.Check.structural t)
+
+let test_online_worst_case_concurrent () =
+  (* online_worst_case driving Cbnet.Concurrent.run directly: each
+     single-request trace reacts to the tree the previous one left. *)
+  let t = Bstnet.Build.balanced 15 in
+  let stats =
+    Adversary.online_worst_case ~m:10 t
+      ~next:(fun tree -> Adversary.deep_access tree)
+      (fun trace -> Cbnet.Concurrent.run t trace)
+  in
+  Alcotest.(check int) "ten messages" 10 stats.Cbnet.Run_stats.messages;
+  Alcotest.(check bool) "some routing happened" true
+    (stats.Cbnet.Run_stats.routing_cost > 0);
+  Bstnet.Check.assert_ok (Bstnet.Check.structural t)
+
 let test_online_worst_case_accumulates () =
   let t = Bstnet.Build.balanced 15 in
   let stats =
@@ -67,6 +98,9 @@ let () =
           Alcotest.test_case "deep access pair" `Quick test_deep_access_pair;
           Alcotest.test_case "amortized bound" `Quick test_adversary_amortized_bound;
           Alcotest.test_case "degenerate start" `Quick test_adversary_on_degenerate_tree;
+          Alcotest.test_case "concurrent executor" `Quick test_adversary_concurrent;
+          Alcotest.test_case "concurrent online worst case" `Quick
+            test_online_worst_case_concurrent;
           Alcotest.test_case "accumulation" `Quick test_online_worst_case_accumulates;
         ] );
     ]

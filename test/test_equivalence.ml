@@ -92,6 +92,43 @@ let test_pair_untraced ~workload ~seed () =
   Array.sort compare lb;
   Alcotest.(check (array (float 0.0))) (ctx ^ ": sorted latencies") lb la
 
+(* An *empty* fault plan still routes every message through the
+   fault-aware turn (full plan resolution, draw checks), so this pair
+   proves that path equivalent to the reference executor: stats,
+   trees, latencies and the telemetry payload stream. *)
+let test_pair_empty_plan ~workload ~seed () =
+  let ctx = Printf.sprintf "empty plan %s/seed %d" workload seed in
+  let empty = Faultkit.Plan.make ~seed:0 [] in
+  let n, trace = trace_of ~workload ~seed in
+  let ta = Build.balanced n and tb = Build.balanced n in
+  let (sa, la), ea =
+    capture_payloads (fun sink ->
+        Conc.run_with_latencies ~sink ~faults:empty ta trace)
+  in
+  let (sb, lb), eb =
+    capture_payloads (fun sink -> Ref.run_with_latencies ~sink tb trace)
+  in
+  check_stats ctx sa sb;
+  check_trees ctx ta tb;
+  Array.sort compare la;
+  Array.sort compare lb;
+  Alcotest.(check (array (float 0.0))) (ctx ^ ": sorted latencies") lb la;
+  Alcotest.(check int)
+    (ctx ^ ": event count")
+    (List.length eb) (List.length ea);
+  List.iteri
+    (fun i (pa, pb) ->
+      if pa <> pb then
+        Alcotest.failf "%s: event %d differs: %s vs %s" ctx i
+          (Obskit.Event.name pa) (Obskit.Event.name pb))
+    (List.combine ea eb);
+  (* Untraced too: the null-sink fault path has its own branches. *)
+  let tc = Build.balanced n and td = Build.balanced n in
+  let sc = Conc.run ~faults:empty tc trace in
+  let sd = Ref.run td trace in
+  check_stats (ctx ^ " untraced") sc sd;
+  check_trees (ctx ^ " untraced") tc td
+
 (* The scheduler finalizer must account for in-flight messages too:
    truncating both executors mid-run (before quiescence) must still
    produce identical statistics. *)
@@ -145,11 +182,24 @@ let untraced_cases =
         seeds)
     workloads
 
+let empty_plan_cases =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "%s seed %d" workload seed)
+            `Quick
+            (test_pair_empty_plan ~workload ~seed))
+        seeds)
+    workloads
+
 let () =
   Alcotest.run "equivalence"
     [
       ("executor pairs", pair_cases);
       ("executor pairs untraced", untraced_cases);
+      ("executor pairs empty fault plan", empty_plan_cases);
       ( "finalization",
         [
           Alcotest.test_case "truncated finalize" `Quick
