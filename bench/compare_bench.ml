@@ -1,13 +1,26 @@
 (* Throughput-regression comparator for bench_json artifacts.
 
      compare_bench OLD.json NEW.json [--threshold PCT]
+     compare_bench --scaling BASELINE.json NEW.json [--threshold PCT]
+                   [--min-speedup X]
 
-   Matches cells by (workload, algo) and compares rounds_per_sec.
-   Exit 1 when any matching cell regressed by more than the threshold
-   (default 20%), exit 2 on unreadable input.  Cells present on only
-   one side, or missing the metric (older artifacts predate it), are
-   reported and skipped — the step must stay useful against historical
-   files.
+   Default mode matches cells by (workload, algo) and compares
+   rounds_per_sec.  Exit 1 when any matching cell regressed by more
+   than the threshold (default 20%), exit 2 on unreadable input.
+   Cells present on only one side, or missing the metric (older
+   artifacts predate it), are reported and skipped — the step must
+   stay useful against historical files.
+
+   --scaling compares two scaling_json curves (bench perf-scaling)
+   instead: rows match by (workload, domains), and each file's
+   host_cores decides which checks are meaningful on the machines
+   involved.  A per-row rounds/sec drop beyond the threshold is
+   blocking only when BOTH hosts had at least that row's domain count
+   in cores (a 4-domain point measured on a 1-core box is
+   oversubscription noise, not a regression); the curve-shape gate —
+   4-domain rounds/sec must reach min-speedup (default 1.5) x the
+   1-domain figure — is blocking only when the NEW host has >= 4
+   cores.  Everything else prints as "warn" and does not fail CI.
 
    The repository deliberately has no JSON dependency; this is a
    minimal recursive-descent parser for the subset bench_json emits
@@ -163,12 +176,15 @@ let num_field obj k =
 
 type cell = { workload : string; algo : string; rps : float option }
 
-let cells_of_file path =
+let read_json path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let body = really_input_string ic len in
   close_in ic;
-  let root = parse body in
+  parse body
+
+let cells_of_file path =
+  let root = read_json path in
   match field root "cells" with
   | Some (List cs) ->
       List.filter_map
@@ -180,18 +196,135 @@ let cells_of_file path =
         cs
   | _ -> raise (Parse_error "no \"cells\" array")
 
+(* One perf-scaling curve point (Runtime.Export.scaling_json). *)
+type point = { workload : string; domains : int; rps : float option }
+
+let scaling_of_file path =
+  let root = read_json path in
+  let host_cores =
+    match num_field root "host_cores" with
+    | Some c -> int_of_float c
+    | None -> raise (Parse_error "no \"host_cores\" field")
+  in
+  match field root "rows" with
+  | Some (List rs) ->
+      let points =
+        List.filter_map
+          (fun r ->
+            match (str_field r "workload", num_field r "domains") with
+            | Some workload, Some d ->
+                Some
+                  {
+                    workload;
+                    domains = int_of_float d;
+                    rps = num_field r "rounds_per_sec";
+                  }
+            | _ -> None)
+          rs
+      in
+      (host_cores, points)
+  | _ -> raise (Parse_error "no \"rows\" array")
+
+(* The --scaling gate: per-point regressions plus the curve-shape
+   (speedup) floor, each blocking only where the hosts' core counts
+   make the measurement meaningful.  Returns the failure count. *)
+let compare_scaling ~threshold ~min_speedup old_path new_path =
+  let old_cores, old_points = scaling_of_file old_path in
+  let new_cores, new_points = scaling_of_file new_path in
+  Printf.printf "scaling: baseline host_cores=%d, current host_cores=%d\n"
+    old_cores new_cores;
+  let failures = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (o : point) ->
+      match
+        List.find_opt
+          (fun (p : point) ->
+            p.workload = o.workload && p.domains = o.domains)
+          new_points
+      with
+      | None ->
+          Printf.printf "SKIP  %-14s domains=%d only in %s\n" o.workload
+            o.domains old_path
+      | Some nw -> (
+          match (o.rps, nw.rps) with
+          | Some orps, Some nrps when orps > 0.0 ->
+              incr compared;
+              let change = (nrps -. orps) /. orps *. 100.0 in
+              let meaningful =
+                old_cores >= o.domains && new_cores >= o.domains
+              in
+              let bad = change < -.threshold && meaningful in
+              if bad then incr failures;
+              Printf.printf "%s  %-14s domains=%d %12.0f -> %12.0f  %+6.1f%%%s\n"
+                (if bad then "FAIL"
+                 else if change < -.threshold then "warn"
+                 else "ok  ")
+                o.workload o.domains orps nrps change
+                (if meaningful then ""
+                 else " (advisory: fewer cores than domains)")
+          | _ ->
+              Printf.printf "SKIP  %-14s domains=%d rounds_per_sec missing\n"
+                o.workload o.domains))
+    old_points;
+  let workloads =
+    List.sort_uniq compare
+      (List.map (fun (p : point) -> p.workload) new_points)
+  in
+  List.iter
+    (fun workload ->
+      let rps_at d =
+        match
+          List.find_opt
+            (fun (p : point) -> p.workload = workload && p.domains = d)
+            new_points
+        with
+        | Some { rps = Some r; _ } when r > 0.0 -> Some r
+        | _ -> None
+      in
+      match (rps_at 1, rps_at 4) with
+      | Some r1, Some r4 ->
+          let speedup = r4 /. r1 in
+          let meaningful = new_cores >= 4 in
+          let bad = speedup < min_speedup && meaningful in
+          if bad then incr failures;
+          Printf.printf "%s  %-14s speedup(4/1)=%.2fx (floor %.2fx)%s\n"
+            (if bad then "FAIL"
+             else if speedup < min_speedup then "warn"
+             else "ok  ")
+            workload speedup min_speedup
+            (if meaningful then ""
+             else " (advisory: host has < 4 cores)")
+      | _ ->
+          Printf.printf "SKIP  %-14s speedup: 1- or 4-domain point missing\n"
+            workload)
+    workloads;
+  Printf.printf "compared %d scaling points, %d failure(s)\n" !compared
+    !failures;
+  !failures
+
 let () =
   let args = Array.to_list Sys.argv in
   let threshold = ref 20.0 in
+  let min_speedup = ref 1.5 in
+  let scaling = ref false in
   let files = ref [] in
+  let positive_float flag v =
+    match float_of_string_opt v with
+    | Some f when f > 0.0 -> f
+    | _ ->
+        Printf.eprintf "compare_bench: %s expects a positive number\n" flag;
+        exit 2
+  in
   let rec parse_args = function
     | [] -> ()
     | "--threshold" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some f when f > 0.0 -> threshold := f
-        | _ ->
-            prerr_endline "compare_bench: --threshold expects a positive number";
-            exit 2);
+        threshold := positive_float "--threshold" v;
+        parse_args rest
+    | "--min-speedup" :: v :: rest ->
+        min_speedup := positive_float "--min-speedup" v;
+        parse_args rest
+    | "--scaling" :: rest ->
+        scaling := true;
         parse_args rest
     | a :: rest ->
         files := a :: !files;
@@ -199,6 +332,20 @@ let () =
   in
   parse_args (List.tl args);
   match List.rev !files with
+  | [ old_path; new_path ] when !scaling -> (
+      try
+        let failures =
+          compare_scaling ~threshold:!threshold ~min_speedup:!min_speedup
+            old_path new_path
+        in
+        exit (if failures > 0 then 1 else 0)
+      with
+      | Parse_error msg ->
+          Printf.eprintf "compare_bench: parse error: %s\n" msg;
+          exit 2
+      | Sys_error msg ->
+          Printf.eprintf "compare_bench: %s\n" msg;
+          exit 2)
   | [ old_path; new_path ] -> (
       try
         let old_cells = cells_of_file old_path in
@@ -254,5 +401,7 @@ let () =
           exit 2)
   | _ ->
       prerr_endline
-        "usage: compare_bench OLD.json NEW.json [--threshold PCT]";
+        "usage: compare_bench OLD.json NEW.json [--threshold PCT]\n\
+        \       compare_bench --scaling BASELINE.json NEW.json [--threshold \
+         PCT] [--min-speedup X]";
       exit 2

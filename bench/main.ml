@@ -28,6 +28,11 @@
    (and, in chaos runs, after every repair).  Set once at startup. *)
 let check_invariants_flag = ref false
 
+(* --domains: parallelize each CBN execution's round loop (the plan
+   wave of Cbnet.Concurrent); orthogonal to --jobs, which parallelizes
+   across seeds.  Results are bit-identical at every setting. *)
+let domains_flag = ref 1
+
 let micro fmt =
   let open Bechamel in
   let rng = Simkit.Rng.create 7 in
@@ -117,7 +122,8 @@ let timed_matrix ?(sink = Obskit.Sink.null) (options : Runtime.Figures.options) 
                 ~seeds:options.Runtime.Figures.seeds
                 ~lambda:options.Runtime.Figures.lambda
                 ~base_seed:options.Runtime.Figures.base_seed ~sink
-                ~check_invariants:!check_invariants_flag ~workload ~algo ()
+                ~check_invariants:!check_invariants_flag
+                ~domains:!domains_flag ~workload ~algo ()
             in
             (c, Unix.gettimeofday () -. t0))
           Runtime.Algo.all)
@@ -182,7 +188,7 @@ let export_csv ?(sink = Obskit.Sink.null) dir
           ~seeds:options.Runtime.Figures.seeds
           ~lambda:options.Runtime.Figures.lambda
           ~base_seed:options.Runtime.Figures.base_seed ~sink
-          ~check_invariants:!check_invariants_flag
+          ~check_invariants:!check_invariants_flag ~domains:!domains_flag
           ~workloads:Workloads.Catalog.paper_six ~algos:Runtime.Algo.all ())
   in
   let path = Filename.concat dir "measurements.csv" in
@@ -297,6 +303,93 @@ let perf ?(reps = 3) (options : Runtime.Figures.options) json fmt =
       Format.fprintf fmt "wrote %d perf cells to %s@." (List.length cells) path
   | None -> ()
 
+(* Cores-vs-throughput scaling curve of the concurrent executor's
+   parallel round loop: the pfabric and hpc traces (the two cells the
+   tentpole targets) executed at 1, 2, 4 and 8 domains.  Each point
+   keeps the minimum wall clock over [reps] runs; the Run_stats of
+   every domain count must be bit-identical to the single-domain
+   oracle — a divergence exits 1, because a fast wrong executor is
+   worse than no curve.  The JSON root records the host's core count
+   so the CI gate (compare_bench --scaling) knows which points were
+   measured with real parallelism rather than oversubscription. *)
+let perf_scaling ?(reps = 2) (options : Runtime.Figures.options) json fmt =
+  let workloads = [ "pfabric"; "hpc" ] in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let host_cores = Domain.recommended_domain_count () in
+  Format.fprintf fmt
+    "== PERF-SCALING: parallel round loop (domains x rounds/sec, \
+     min-of-%d walls, host cores=%d) ==@."
+    reps host_cores;
+  let rows =
+    List.concat_map
+      (fun workload ->
+        let trace =
+          Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
+            ~lambda:options.Runtime.Figures.lambda ~workload
+            ~seed:options.Runtime.Figures.base_seed ()
+        in
+        let n = trace.Workloads.Trace.n in
+        let runs = Workloads.Trace.to_runs trace in
+        let oracle = ref None in
+        let base_rate = ref 0.0 in
+        List.map
+          (fun domains ->
+            let best = ref infinity and result = ref None in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              let stats =
+                Cbnet.Concurrent.run ~domains
+                  ~check_invariants:!check_invariants_flag
+                  (Bstnet.Build.balanced n) runs
+              in
+              let w = Unix.gettimeofday () -. t0 in
+              if w < !best then best := w;
+              result := Some stats
+            done;
+            let stats = Option.get !result in
+            (match !oracle with
+            | None -> oracle := Some stats
+            | Some o ->
+                if not (stats = o) then begin
+                  Printf.eprintf
+                    "perf-scaling: FAIL: %s at %d domains diverged from the \
+                     single-domain oracle\n"
+                    workload domains;
+                  exit 1
+                end);
+            let wall = !best in
+            let rate total =
+              if wall > 0.0 then float_of_int total /. wall else 0.0
+            in
+            let rps = rate stats.Cbnet.Run_stats.rounds in
+            if domains = 1 then base_rate := rps;
+            Format.fprintf fmt
+              "%-14s domains=%d rounds/s=%-11.0f msgs/s=%-10.0f \
+               speedup=%.2fx wall=%.3fs@."
+              workload domains rps
+              (rate stats.Cbnet.Run_stats.messages)
+              (if !base_rate > 0.0 then rps /. !base_rate else 0.0)
+              wall;
+            ({
+               workload;
+               domains;
+               rounds = stats.Cbnet.Run_stats.rounds;
+               messages = stats.Cbnet.Run_stats.messages;
+               wall_seconds = wall;
+             }
+              : Runtime.Export.scaling_row))
+          domain_counts)
+      workloads
+  in
+  Format.fprintf fmt "stats bit-identical across all domain counts@.";
+  match json with
+  | Some path ->
+      Runtime.Export.scaling_json ~commit:(detect_commit ())
+        ~timestamp:(iso8601_now ()) ~host_cores rows path;
+      Format.fprintf fmt "wrote %d scaling rows to %s@." (List.length rows)
+        path
+  | None -> ()
+
 (* The fault plans of the chaos sweep: one stressor per fault family
    plus a kitchen-sink mix.  Rates are low enough that every run still
    drains well inside the round budget; the plan text (printed and
@@ -394,15 +487,17 @@ let chaos (options : Runtime.Figures.options) json fmt =
   | None -> ()
 
 let usage =
-  "usage: main.exe [--full] [--seeds N] [--jobs N] [--csv DIR] [--json FILE] \
-   [--trace FILE] [--metrics FILE] [--check-invariants] [--mode ARTIFACT] \
-   [ARTIFACT ...]\n\
+  "usage: main.exe [--full] [--seeds N] [--jobs N] [--domains N] [--csv DIR] \
+   [--json FILE] [--trace FILE] [--metrics FILE] [--check-invariants] \
+   [--mode ARTIFACT] [ARTIFACT ...]\n\
    artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
-   micro bench-smoke overhead-check perf chaos\n\
+   micro bench-smoke overhead-check perf perf-scaling chaos\n\
    (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
   \ best combined with --json; --mode NAME is an alias for naming NAME)\n\
    --jobs N parallelizes seed runs over N domains (default: CBNET_JOBS, else\n\
   \ cores - 1); results are bit-identical at every setting.\n\
+   --domains N parallelizes each CBN run's round loop (bit-identical; default\n\
+  \ 1); perf-scaling sweeps domains 1/2/4/8 itself and ignores the flag.\n\
    --trace FILE writes a Chrome/Perfetto trace of the matrix runs\n\
   \ (bench-smoke, --json, --csv); --metrics FILE writes Prometheus text.\n\
    --check-invariants audits every final tree with Bstnet.Check.structural;\n\
@@ -435,14 +530,17 @@ let () =
     | "--full" :: rest ->
         full := true;
         parse rest
-    | [ "--seeds" ] | [ "--jobs" ] | [ "--csv" ] | [ "--json" ] | [ "--trace" ]
-    | [ "--metrics" ] | [ "--mode" ] ->
+    | [ "--seeds" ] | [ "--jobs" ] | [ "--domains" ] | [ "--csv" ]
+    | [ "--json" ] | [ "--trace" ] | [ "--metrics" ] | [ "--mode" ] ->
         die "missing value for trailing option"
     | "--seeds" :: v :: rest ->
         seeds := Some (int_value "--seeds" v);
         parse rest
     | "--jobs" :: v :: rest ->
         jobs := Some (int_value "--jobs" v);
+        parse rest
+    | "--domains" :: v :: rest ->
+        domains_flag := int_value "--domains" v;
         parse rest
     | "--csv" :: dir :: rest ->
         csv := Some dir;
@@ -555,6 +653,15 @@ let () =
             }
           in
           perf perf_options !json fmt );
+      ( "perf-scaling",
+        fun () ->
+          (* Default scale even under --full: the curve is a CI trend
+             metric, and paper-size traces would multiply its wall
+             clock by the domain sweep. *)
+          let scaling_options =
+            { options with Runtime.Figures.scale = Workloads.Catalog.Default }
+          in
+          perf_scaling scaling_options !json fmt );
     ]
   in
   (* Validate every artifact name before running anything: CI must
@@ -571,8 +678,9 @@ let () =
     when
       not
         (List.mem "bench-smoke" names || List.mem "perf" names
-        || List.mem "chaos" names) ->
-      (* bench-smoke, perf and chaos write the JSON themselves. *)
+        || List.mem "perf-scaling" names || List.mem "chaos" names) ->
+      (* bench-smoke, perf, perf-scaling and chaos write the JSON
+         themselves. *)
       export_json ~sink options path
   | _ -> ());
   (match names with

@@ -81,6 +81,21 @@ let metrics_file_arg =
           "Write run metrics to $(docv) in the Prometheus text exposition \
            format.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains"; "d" ]
+        ~doc:
+          "Domains for the CBN executor's intra-run plan wave (results are \
+           bit-identical at every setting); 0 = all recommended cores.  \
+           Other algorithms ignore it.")
+
+let resolve_domains d =
+  if d < 0 then failwith "--domains must be >= 0"
+  else if d = 0 then Domain.recommended_domain_count ()
+  else d
+
 let check_invariants_arg =
   Arg.(
     value & flag
@@ -92,7 +107,9 @@ let check_invariants_arg =
 
 let run_cmd =
   let doc = "Run one algorithm on one workload and print its statistics." in
-  let run workload algo trace_file metrics_file check_invariants options =
+  let run workload algo trace_file metrics_file check_invariants domains
+      options =
+    let domains = resolve_domains domains in
     let trace =
       Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
         ~lambda:options.Runtime.Figures.lambda ~workload
@@ -117,7 +134,7 @@ let run_cmd =
         | Some reg -> [ Runtime.Telemetry.metrics_sink reg ]
         | None -> [])
     in
-    let stats = Runtime.Algo.run ~sink ~check_invariants algo trace in
+    let stats = Runtime.Algo.run ~sink ~check_invariants ~domains algo trace in
     Format.printf "%s: %a@." (Runtime.Algo.name algo) Cbnet.Run_stats.pp stats;
     (match (trace_file, ring) with
     | Some path, Some r ->
@@ -138,7 +155,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ algo_arg $ trace_file_arg $ metrics_file_arg
-      $ check_invariants_arg $ options_term)
+      $ check_invariants_arg $ domains_arg $ options_term)
 
 let complexity_cmd =
   let doc = "Measure the trace complexity (T, NT, Psi) of a workload." in

@@ -27,6 +27,88 @@ let default_window t = function Some w -> w | None -> max 64 (T.n t)
    admitted, the whole set visited in (birth, id) order, finished
    messages dropped — so statistics, telemetry and the final tree are
    bit-identical to {!Reference}. *)
+
+(* --------------------------------------------------------------
+   Intra-round parallelism: the speculative plan wave.
+
+   Bit-identity rules out racing CAS claims — which message wins a
+   contended cluster would depend on domain scheduling, and every
+   pause/bypass counter, event and rotation downstream of it.  The
+   parallel executor therefore splits each round's visit into
+
+     1. a *wave*: the ready set is partitioned across a fixed team of
+        domains ({!Simkit.Team}); each member speculatively probes and
+        resolves its messages' turns against the frozen start-of-round
+        tree — strictly read-only (no weight deposits, no rank-memo
+        writes, no phase flips) — recording each turn's plan, its exact
+        node read set and the nodes' mutation stamps
+        ({!Bstnet.Topology.stamp});
+
+     2. a *serial commit*: the caller walks the slots in the exact
+        sequential (birth, id) order.  A slot whose read-set stamps
+        still hold commits its speculated plan verbatim (the sequential
+        executor, reaching this message now, would recompute exactly
+        it); a stale or unspeculatable slot falls back to the plain
+        sequential turn.  All tree mutations, claim writes, fault draws
+        and telemetry happen here, on one domain, in sequential order.
+
+   The claim words double-pack (round, rotate) into one int per node —
+   [round lsl 1 lor rotate], initialized to -2 so [asr 1] never equals
+   a real round — replacing the two parallel arrays; the commit phase
+   stays their only writer.
+
+   Turns the wave cannot speculate exactly are tagged [tag_seq]:
+   *flip hazards* — a turn crossing its LCA spawns the weight-update
+   message and deposits its first increment *before* probing, so any
+   speculated ΔΦ would be stale — and, on untraced fault-free runs,
+   turns whose step-shape cache is still valid, which the sequential
+   fast path re-checks in a handful of loads anyway (speculating those
+   would cost more than it saves: pause-dominated rounds are exactly
+   the cache-friendly ones). *)
+
+let tag_seq = 0 (* run the plain sequential turn at commit *)
+let tag_deliver = 1 (* speculated delivery; validate the current node *)
+let tag_plan = 2 (* speculated resolved plan; validate the read set *)
+
+type slot = {
+  mutable tag : int;
+  mutable flags : int; (* Protocol.spec_* bits of the speculation *)
+  splan : Step.t; (* this slot's private plan buffer *)
+  (* Probe-time cluster layout (resolve folds the anchor into the
+     cluster fields when the step rotates, and the untraced commit
+     path must refresh the message's shape cache with the *probe*
+     layout, exactly as the sequential path does). *)
+  mutable c0 : int;
+  mutable c1 : int;
+  mutable c2 : int;
+  mutable canchor : int;
+  (* The turn's exact read set: cluster core + the ΔΦ weight reads
+     (transferred children), with each node's stamp at wave time.  A
+     slot is committable iff every stamp still holds. *)
+  reads : int array;
+  stamps : int array;
+  mutable nreads : int;
+}
+
+let max_reads = 6 (* 3 cluster nodes + at most 2 ΔΦ extras *)
+
+let new_slot () =
+  {
+    tag = tag_seq;
+    flags = 0;
+    splan = Step.buffer ();
+    c0 = T.nil;
+    c1 = T.nil;
+    c2 = T.nil;
+    canchor = T.nil;
+    reads = Array.make max_reads T.nil;
+    stamps = Array.make max_reads 0;
+    nreads = 0;
+  }
+
+(* Below this ready-set size the wave's handoff dwarfs the work. *)
+let par_threshold = 32
+
 type state = {
   config : Config.t;
   t : T.t;
@@ -46,12 +128,21 @@ type state = {
   mutable spawn : Protocol.spawn;
   mutable cur_round : int;
   mutable cur_birth : int;
-  (* Per-round cluster claims: claimed_round.(v) = r when v is locked in
-     round r; claimed_rot.(v) tells whether the claiming step rotates. *)
-  claimed_round : int array;
-  claimed_rot : bool array;
+  (* Per-node claim words: claims.(v) = (r lsl 1) lor rotate when v is
+     locked in round r by a step that rotates (1) or routes (0).
+     Initialized to -2: (-2) asr 1 = -1, never a real round. *)
+  claims : int array;
   mutable live : int;  (* undelivered messages, data + update *)
   mutable live_data : int;  (* undelivered data messages in flight *)
+  (* Parallel plan wave (domains > 1); see the design note above. *)
+  team_sink : Obskit.Sink.t;  (* per-member wave telemetry *)
+  mutable team : Simkit.Team.t option;
+  mutable slots : slot array;  (* one per committed queue position *)
+  mutable wave_planned : int array;  (* per-member tally of tag_plan slots *)
+  mutable wave_count : int;  (* wave job inputs: ready-set size... *)
+  mutable wave_chunk : int;  (* ...and slice width per member *)
+  mutable wave_cache : bool;  (* honour the shape cache (untraced, fault-free) *)
+  mutable wave_job : int -> unit;  (* preallocated member job *)
 }
 
 (* lint: hot *)
@@ -86,7 +177,7 @@ let spawner st ~origin ~first_increment =
   else Simkit.Pqueue.stage st.queue u
 (* lint: hot-end *)
 
-let create config ~window ~sink ~faults ~check t trace =
+let create config ~window ~sink ~team_sink ~faults ~check t trace =
   validate t trace;
   if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
   (* Exactly one update per data message, so the arena never grows
@@ -112,10 +203,17 @@ let create config ~window ~sink ~faults ~check t trace =
       spawn = (fun ~origin:_ ~first_increment:_ -> ());
       cur_round = 0;
       cur_birth = 0;
-      claimed_round = Array.make (T.n t) (-1);
-      claimed_rot = Array.make (T.n t) false;
+      claims = Array.make (T.n t) (-2);
       live = 0;
       live_data = 0;
+      team_sink;
+      team = None;
+      slots = [||];
+      wave_planned = [||];
+      wave_count = 0;
+      wave_chunk = 0;
+      wave_cache = false;
+      wave_job = (fun _ -> ());
     }
   in
   st.spawn <-
@@ -149,52 +247,38 @@ let inject st ~round =
    is tail padding only).  Encoded as an int so the per-turn hot path
    allocates no option: -1 = free, 0 = loser of a routing step
    (pause), 1 = loser of a rotation (bypass).  Written without inner
-   closures — the non-flambda compiler would allocate them per call. *)
+   closures — the non-flambda compiler would allocate them per call.
+   A node is claimed in this round iff its claim word shifts down to
+   [round]; the low bit is the claimer's rotate verdict. *)
 let conflict_free = -1
 
 (* lint: hot *)
-let cluster_conflict st ~round =
-  let p = st.plan in
+let cluster_conflict st ~round (p : Step.t) =
   let v0 = p.Step.cluster0 in
-  if v0 <> T.nil && st.claimed_round.(v0) = round then
-    Bool.to_int st.claimed_rot.(v0)
+  if v0 <> T.nil && st.claims.(v0) asr 1 = round then st.claims.(v0) land 1
   else
     let v1 = p.Step.cluster1 in
-    if v1 <> T.nil && st.claimed_round.(v1) = round then
-      Bool.to_int st.claimed_rot.(v1)
+    if v1 <> T.nil && st.claims.(v1) asr 1 = round then st.claims.(v1) land 1
     else
       let v2 = p.Step.cluster2 in
-      if v2 <> T.nil && st.claimed_round.(v2) = round then
-        Bool.to_int st.claimed_rot.(v2)
+      if v2 <> T.nil && st.claims.(v2) asr 1 = round then
+        st.claims.(v2) land 1
       else
         let v3 = p.Step.cluster3 in
-        if v3 <> T.nil && st.claimed_round.(v3) = round then
-          Bool.to_int st.claimed_rot.(v3)
+        if v3 <> T.nil && st.claims.(v3) asr 1 = round then
+          st.claims.(v3) land 1
         else conflict_free
 
-let claim st ~round =
-  let p = st.plan in
-  let rotate = p.Step.rotate in
+let claim st ~round (p : Step.t) =
+  let word = (round lsl 1) lor Bool.to_int p.Step.rotate in
   let v0 = p.Step.cluster0 in
-  if v0 <> T.nil then begin
-    st.claimed_round.(v0) <- round;
-    st.claimed_rot.(v0) <- rotate
-  end;
+  if v0 <> T.nil then st.claims.(v0) <- word;
   let v1 = p.Step.cluster1 in
-  if v1 <> T.nil then begin
-    st.claimed_round.(v1) <- round;
-    st.claimed_rot.(v1) <- rotate
-  end;
+  if v1 <> T.nil then st.claims.(v1) <- word;
   let v2 = p.Step.cluster2 in
-  if v2 <> T.nil then begin
-    st.claimed_round.(v2) <- round;
-    st.claimed_rot.(v2) <- rotate
-  end;
+  if v2 <> T.nil then st.claims.(v2) <- word;
   let v3 = p.Step.cluster3 in
-  if v3 <> T.nil then begin
-    st.claimed_round.(v3) <- round;
-    st.claimed_rot.(v3) <- rotate
-  end
+  if v3 <> T.nil then st.claims.(v3) <- word
 
 (* Record a lost conflict on the message (+ optional event). *)
 let record_conflict st ~round ~traced (msg : M.t) ~was_rotation =
@@ -215,9 +299,8 @@ let record_conflict st ~round ~traced (msg : M.t) ~was_rotation =
 (* Commit the turn's plan: claim the cluster, apply the step, finish
    the message if it arrived.  Shared by the conflict-free branch of
    {!resolved_turn} and by the fault-injected path. *)
-let commit_plan st ~round ~traced (msg : M.t) =
-  let plan = st.plan in
-  claim st ~round;
+let commit_plan st ~round ~traced (msg : M.t) (plan : Step.t) =
+  claim st ~round plan;
   if traced then
     (* lint: allow no-alloc -- closure built only when tracing is on *)
     Obskit.Sink.record st.sink (fun () ->
@@ -246,11 +329,11 @@ let commit_plan st ~round ~traced (msg : M.t) =
 (* Finish a turn whose buffer holds a complete (resolved) plan:
    conflict test on the final cluster, then claim + apply or record
    the pause/bypass. *)
-let resolved_turn st ~round ~traced (msg : M.t) =
-  let conflict = cluster_conflict st ~round in
+let resolved_turn st ~round ~traced (msg : M.t) (plan : Step.t) =
+  let conflict = cluster_conflict st ~round plan in
   if conflict <> conflict_free then
     record_conflict st ~round ~traced msg ~was_rotation:(conflict = 1)
-  else commit_plan st ~round ~traced msg
+  else commit_plan st ~round ~traced msg plan
 (* lint: hot-end *)
 
 (* Traced turn: full plan up front (Step_planned must carry ΔΦ). *)
@@ -267,7 +350,7 @@ let traced_turn st ~round (msg : M.t) =
             rotate = plan.Step.rotate;
             delta_phi = Step.delta_phi plan;
           });
-    resolved_turn st ~round ~traced:true msg
+    resolved_turn st ~round ~traced:true msg plan
   end
   else finish st msg
 
@@ -282,6 +365,27 @@ let traced_turn st ~round (msg : M.t) =
    is outcome-identical to the traced path; the equivalence suite
    checks it against {!Reference}. *)
 (* lint: hot *)
+
+(* The ΔΦ-free conflict pre-check on a probed core shape, shared by
+   the shape-cache fast path, the probe path and the wave commit: the
+   first claimed core node when the pause/bypass verdict is decidable
+   without resolving (anchor unclaimed, or claimed by the same kind of
+   winner), else nil. *)
+let shape_hit st ~round ~c0 ~c1 ~c2 ~anchor =
+  let hit =
+    if st.claims.(c0) asr 1 = round then c0
+    else if st.claims.(c1) asr 1 = round then c1
+    else if c2 <> T.nil && st.claims.(c2) asr 1 = round then c2
+    else T.nil
+  in
+  if
+    hit <> T.nil
+    && (anchor = T.nil
+       || st.claims.(anchor) asr 1 <> round
+       || st.claims.(anchor) land 1 = st.claims.(hit) land 1)
+  then hit
+  else T.nil
+
 let untraced_probe_turn st ~round (msg : M.t) =
   if Protocol.begin_turn_probe st.plan st.t ~spawn:st.spawn msg then begin
     let p = st.plan in
@@ -298,29 +402,19 @@ let untraced_probe_turn st ~round (msg : M.t) =
     msg.M.shape_v0 <- T.version st.t c0;
     msg.M.shape_v1 <- T.version st.t c1;
     if c2 <> T.nil then msg.M.shape_v2 <- T.version st.t c2;
-    let hit =
-      if st.claimed_round.(c0) = round then c0
-      else if st.claimed_round.(c1) = round then c1
-      else if c2 <> T.nil && st.claimed_round.(c2) = round then c2
-      else T.nil
-    in
-    let anchor = p.Step.anchor in
-    if
-      hit <> T.nil
-      && (anchor = T.nil
-         || st.claimed_round.(anchor) <> round
-         || Bool.equal st.claimed_rot.(anchor) st.claimed_rot.(hit))
-    then begin
+    let hit = shape_hit st ~round ~c0 ~c1 ~c2 ~anchor:p.Step.anchor in
+    if hit <> T.nil then begin
       (* The anchor joins the cluster (in front) only if the step
          rotates; with the anchor unclaimed — or claimed by the same
          kind of winner as the first core hit — the verdict is the
          same either way, so ΔΦ is irrelevant. *)
-      if st.claimed_rot.(hit) then msg.M.bypasses <- msg.M.bypasses + 1
+      if st.claims.(hit) land 1 = 1 then
+        msg.M.bypasses <- msg.M.bypasses + 1
       else msg.M.pauses <- msg.M.pauses + 1
     end
     else begin
-        Step.resolve_into st.plan st.config st.t;
-      resolved_turn st ~round ~traced:false msg
+      Step.resolve_into st.plan st.config st.t;
+      resolved_turn st ~round ~traced:false msg st.plan
     end
   end
   else finish st msg
@@ -339,21 +433,12 @@ let untraced_turn st ~round (msg : M.t) =
     && (msg.M.shape_c2 = T.nil || T.version st.t msg.M.shape_c2 = msg.M.shape_v2)
   then begin
     let hit =
-      if st.claimed_round.(c0) = round then c0
-      else if st.claimed_round.(msg.M.shape_c1) = round then msg.M.shape_c1
-      else if
-        msg.M.shape_c2 <> T.nil && st.claimed_round.(msg.M.shape_c2) = round
-      then msg.M.shape_c2
-      else T.nil
+      shape_hit st ~round ~c0 ~c1:msg.M.shape_c1 ~c2:msg.M.shape_c2
+        ~anchor:msg.M.shape_anchor
     in
-    let anchor = msg.M.shape_anchor in
-    if
-      hit <> T.nil
-      && (anchor = T.nil
-         || st.claimed_round.(anchor) <> round
-         || Bool.equal st.claimed_rot.(anchor) st.claimed_rot.(hit))
-    then begin
-      if st.claimed_rot.(hit) then msg.M.bypasses <- msg.M.bypasses + 1
+    if hit <> T.nil then begin
+      if st.claims.(hit) land 1 = 1 then
+        msg.M.bypasses <- msg.M.bypasses + 1
       else msg.M.pauses <- msg.M.pauses + 1
     end
     else begin
@@ -361,7 +446,7 @@ let untraced_turn st ~round (msg : M.t) =
          act, so take the full probe + resolve path. *)
         Protocol.begin_turn_probe st.plan st.t ~spawn:st.spawn msg |> ignore;
       Step.resolve_into st.plan st.config st.t;
-      resolved_turn st ~round ~traced:false msg
+      resolved_turn st ~round ~traced:false msg st.plan
     end
   end
   else untraced_probe_turn st ~round msg
@@ -426,9 +511,9 @@ let spawn_duplicate st (msg : M.t) =
    invariant suite.  The cluster is claimed first: the torn nodes were
    about to mutate and no other step may see the intermediate state
    this round. *)
-let abort_rotation st inj ~round (msg : M.t) =
-  claim st ~round;
-  let x = Step.first_rotation_node st.t st.plan in
+let abort_rotation st inj ~round (msg : M.t) (plan : Step.t) =
+  claim st ~round plan;
+  let x = Step.first_rotation_node st.t plan in
   if Obskit.Sink.enabled st.sink then begin
     Obskit.Sink.record st.sink (fun () ->
         Obskit.Event.Fault_injected
@@ -445,35 +530,32 @@ let abort_rotation st inj ~round (msg : M.t) =
   if st.check then check_now st;
   msg.M.shape_c0 <- M.shape_none
 
-let faulty_turn st inj ~round (msg : M.t) =
-  if msg.M.asleep_until > round then () (* delayed in transit: skip *)
-  else if Faultkit.Injector.is_down inj msg.M.current then
-    (* Parked at a crashed node — checked before planning, so a dead
-       node performs no protocol side effects (LCA update spawns). *)
+(* The tail of a fault-injected turn, once its plan is resolved (the
+   buffer may be the shared sequential one or a wave slot's): the
+   Step_planned event, crash parking, conflicts, and the commit draws.
+   Factored out so the parallel commit can enter here with a validated
+   speculated plan. *)
+let faulty_resolved st inj ~round (msg : M.t) (plan : Step.t) =
+  let traced = Obskit.Sink.enabled st.sink in
+  if traced then
+    Obskit.Sink.record st.sink (fun () ->
+        Obskit.Event.Step_planned
+          {
+            round;
+            msg = msg.M.id;
+            kind = Step.kind_to_string plan.Step.kind;
+            rotate = plan.Step.rotate;
+            delta_phi = Step.delta_phi plan;
+          });
+  if Faultkit.Injector.any_down inj && cluster_down inj plan then
     Faultkit.Injector.note_park inj
-  else if Protocol.begin_turn_into st.plan st.config st.t ~spawn:st.spawn msg
-  then begin
-    let plan = st.plan in
-    let traced = Obskit.Sink.enabled st.sink in
-    if traced then
-      Obskit.Sink.record st.sink (fun () ->
-          Obskit.Event.Step_planned
-            {
-              round;
-              msg = msg.M.id;
-              kind = Step.kind_to_string plan.Step.kind;
-              rotate = plan.Step.rotate;
-              delta_phi = Step.delta_phi plan;
-            });
-    if Faultkit.Injector.any_down inj && cluster_down inj plan then
-      Faultkit.Injector.note_park inj
+  else begin
+    let conflict = cluster_conflict st ~round plan in
+    if conflict <> conflict_free then
+      record_conflict st ~round ~traced msg ~was_rotation:(conflict = 1)
+    else if plan.Step.rotate && Faultkit.Injector.draw_abort inj then
+      abort_rotation st inj ~round msg plan
     else begin
-      let conflict = cluster_conflict st ~round in
-      if conflict <> conflict_free then
-        record_conflict st ~round ~traced msg ~was_rotation:(conflict = 1)
-      else if plan.Step.rotate && Faultkit.Injector.draw_abort inj then
-        abort_rotation st inj ~round msg
-      else begin
         (* Commit draws, in fixed order: loss, duplication, delay.
            Each zero-rate family consumes no randomness (see
            Faultkit.Injector), so replays stay aligned. *)
@@ -505,7 +587,7 @@ let faulty_turn st inj ~round (msg : M.t) =
                     node = msg.M.current;
                     msg = twin.M.id;
                   });
-          commit_plan st ~round ~traced msg
+          commit_plan st ~round ~traced msg plan
         end
         else begin
           let k = Faultkit.Injector.draw_delay inj in
@@ -522,14 +604,263 @@ let faulty_turn st inj ~round (msg : M.t) =
                       msg = msg.M.id;
                     })
           end
-          else commit_plan st ~round ~traced msg
+          else commit_plan st ~round ~traced msg plan
         end
       end
-    end
   end
+
+let faulty_turn st inj ~round (msg : M.t) =
+  if msg.M.asleep_until > round then () (* delayed in transit: skip *)
+  else if Faultkit.Injector.is_down inj msg.M.current then
+    (* Parked at a crashed node — checked before planning, so a dead
+       node performs no protocol side effects (LCA update spawns). *)
+    Faultkit.Injector.note_park inj
+  else if Protocol.begin_turn_into st.plan st.config st.t ~spawn:st.spawn msg
+  then faulty_resolved st inj ~round msg st.plan
   else finish st msg
 
+(* ------------------------------------------------------------------
+   The speculative plan wave (domains > 1).  Everything in this
+   section up to the commit walk runs concurrently on team members and
+   is strictly read-only on the tree, the messages and all shared
+   state: each member writes only the slots of its own slice. *)
+
 (* lint: hot *)
+let slot_add (slot : slot) t n v =
+  if v <> T.nil then begin
+    slot.reads.(n) <- v;
+    slot.stamps.(n) <- T.stamp t v;
+    n + 1
+  end
+  else n
+
+(* The exact read set of a speculated plan: the probed cluster core
+   plus the ΔΦ weight reads of its kind (the transferred child of the
+   promoted node, or both children of a double-promoted one).  Anchor
+   and parent links need no entries of their own: a parent pointer is
+   the child's own field, and every mutation that re-routes one —
+   including replacing a node as its parent's child — also bumps the
+   stamp of the node it dethrones. *)
+let fill_reads st (slot : slot) =
+  let t = st.t in
+  let p = slot.splan in
+  let n = slot_add slot t 0 p.Step.cluster0 in
+  let n = slot_add slot t n p.Step.cluster1 in
+  let n = slot_add slot t n p.Step.cluster2 in
+  let n =
+    match p.Step.kind with
+    | Step.Bu_zig ->
+        slot_add slot t n (Potential.transferred_child t p.Step.cluster0)
+    | Step.Bu_semi_zig_zig | Step.Td_zig | Step.Td_semi_zig_zig ->
+        slot_add slot t n (Potential.transferred_child t p.Step.cluster1)
+    | Step.Bu_semi_zig_zag ->
+        let n = slot_add slot t n (T.left t p.Step.cluster0) in
+        slot_add slot t n (T.right t p.Step.cluster0)
+    | Step.Td_semi_zig_zag ->
+        let n = slot_add slot t n (T.left t p.Step.cluster2) in
+        slot_add slot t n (T.right t p.Step.cluster2)
+  in
+  slot.nreads <- n
+
+(* Speculate one message's turn into its slot.  Returns true iff the
+   slot holds a fully resolved plan ([tag_plan]). *)
+let wave_speculate st (slot : slot) (msg : M.t) =
+  if
+    st.wave_cache
+    && (let c0 = msg.M.shape_c0 in
+        c0 <> M.shape_none
+        && T.version st.t c0 = msg.M.shape_v0
+        && T.version st.t msg.M.shape_c1 = msg.M.shape_v1
+        && (msg.M.shape_c2 = T.nil
+           || T.version st.t msg.M.shape_c2 = msg.M.shape_v2))
+  then begin
+    (* Valid shape cache (untraced, fault-free): the sequential fast
+       path decides this turn in a handful of loads at commit time;
+       speculating it would cost more than it saves.  Structure
+       versions only grow, so a cache invalid now stays invalid. *)
+    slot.tag <- tag_seq;
+    false
+  end
+  else begin
+    let flags = Protocol.speculate_turn_probe slot.splan st.t msg in
+    if flags land Protocol.spec_flip <> 0 then begin
+      (* Crossing the LCA deposits weight before probing: replan
+         sequentially at commit. *)
+      slot.tag <- tag_seq;
+      false
+    end
+    else if flags land Protocol.spec_planned = 0 then begin
+      (* Plain delivery.  Its only tree dependency is the current
+         node (is-the-update-at-the-root), so validate just that. *)
+      slot.tag <- tag_deliver;
+      slot.flags <- flags;
+      slot.reads.(0) <- msg.M.current;
+      slot.stamps.(0) <- T.stamp st.t msg.M.current;
+      slot.nreads <- 1;
+      false
+    end
+    else begin
+      let p = slot.splan in
+      (* Save the probe-time cluster layout before resolve folds the
+         anchor in: the untraced commit refreshes the message's shape
+         cache from the probe layout, exactly as the sequential path
+         does. *)
+      slot.c0 <- p.Step.cluster0;
+      slot.c1 <- p.Step.cluster1;
+      slot.c2 <- p.Step.cluster2;
+      slot.canchor <- p.Step.anchor;
+      fill_reads st slot;
+      Step.resolve_ro_into p st.config st.t;
+      slot.tag <- tag_plan;
+      slot.flags <- flags;
+      true
+    end
+  end
+
+(* One team member's share of the wave: a contiguous slice of the
+   committed queue. *)
+let wave_member st m =
+  let lo = m * st.wave_chunk in
+  let hi = min st.wave_count (lo + st.wave_chunk) in
+  (* lint: allow no-alloc -- one tally ref per member per round *)
+  let planned = ref 0 in
+  for k = lo to hi - 1 do
+    let msg = Simkit.Pqueue.get st.queue k in
+    if msg.M.delivered then st.slots.(k).tag <- tag_seq
+    else if wave_speculate st st.slots.(k) msg then incr planned
+  done;
+  st.wave_planned.(m) <- !planned
+
+let slot_valid st (slot : slot) =
+  let ok = ref true in
+  for i = 0 to slot.nreads - 1 do
+    if T.stamp st.t slot.reads.(i) <> slot.stamps.(i) then ok := false
+  done;
+  !ok
+
+(* Commit one message's turn from its wave slot, on the caller, in
+   sequential order.  A stale or unspeculated slot falls back to the
+   plain sequential turn; a valid one commits the speculated plan the
+   sequential executor would have recomputed verbatim. *)
+let commit_slot st ~round ~traced (slot : slot) (msg : M.t) =
+  if slot.tag = tag_seq || not (slot_valid st slot) then
+    match st.faults with
+    | Some inj -> faulty_turn st inj ~round msg
+    | None ->
+        if traced then traced_turn st ~round msg
+        else untraced_turn st ~round msg
+  else begin
+    (* The wave never flips phases; apply the climb resumption the
+       sequential probe would have performed before using the plan. *)
+    if slot.flags land Protocol.spec_climb <> 0 then
+      msg.M.phase <- M.Climbing;
+    match st.faults with
+    | Some inj ->
+        (* Mirror faulty_turn's gate order: sleep and crash checks
+           precede any protocol action. *)
+        if msg.M.asleep_until > round then ()
+        else if Faultkit.Injector.is_down inj msg.M.current then
+          Faultkit.Injector.note_park inj
+        else if slot.tag = tag_deliver then finish st msg
+        else faulty_resolved st inj ~round msg slot.splan
+    | None ->
+        if slot.tag = tag_deliver then finish st msg
+        else if traced then begin
+          let plan = slot.splan in
+          (* lint: allow no-alloc -- closure built only when tracing is on *)
+          Obskit.Sink.record st.sink (fun () ->
+              Obskit.Event.Step_planned
+                {
+                  round;
+                  msg = msg.M.id;
+                  kind = Step.kind_to_string plan.Step.kind;
+                  rotate = plan.Step.rotate;
+                  delta_phi = Step.delta_phi plan;
+                });
+          resolved_turn st ~round ~traced:true msg plan
+        end
+        else begin
+          (* Untraced: refresh the shape cache from the probe layout
+             and run the ΔΦ-free pre-check, exactly as
+             {!untraced_probe_turn} does. *)
+          let c0 = slot.c0 and c1 = slot.c1 and c2 = slot.c2 in
+          msg.M.shape_c0 <- c0;
+          msg.M.shape_c1 <- c1;
+          msg.M.shape_c2 <- c2;
+          msg.M.shape_anchor <- slot.canchor;
+          msg.M.shape_v0 <- T.version st.t c0;
+          msg.M.shape_v1 <- T.version st.t c1;
+          if c2 <> T.nil then msg.M.shape_v2 <- T.version st.t c2;
+          let hit = shape_hit st ~round ~c0 ~c1 ~c2 ~anchor:slot.canchor in
+          if hit <> T.nil then begin
+            if st.claims.(hit) land 1 = 1 then
+              msg.M.bypasses <- msg.M.bypasses + 1
+            else msg.M.pauses <- msg.M.pauses + 1
+          end
+          else resolved_turn st ~round ~traced:false msg slot.splan
+        end
+  end
+
+(* The sequential round visit, also the per-turn fallback above. *)
+let seq_visit st ~round ~traced =
+  (* lint: allow no-alloc -- one visitor closure per round, not per turn *)
+  Simkit.Pqueue.iter_filter st.queue (fun (msg : M.t) ->
+      if msg.M.delivered then false
+      else begin
+        st.cur_birth <- msg.M.birth;
+        (match st.faults with
+        | Some inj -> faulty_turn st inj ~round msg
+        | None ->
+            if traced then traced_turn st ~round msg
+            else untraced_turn st ~round msg);
+        not msg.M.delivered
+      end)
+
+let ensure_wave_capacity st count =
+  if Array.length st.slots < count then begin
+    let cap = max count (2 * Array.length st.slots) in
+    (* lint: allow no-alloc -- amortized arena growth, not per-turn *)
+    st.slots <- Array.init cap (fun _ -> new_slot ())
+  end
+
+(* Per-member wave telemetry, merged in fixed member order after the
+   join so the stream is deterministic for a given domain count.  It
+   goes to the dedicated team sink: the run sink's streams must stay
+   bit-identical across domain counts. *)
+let wave_merge st ~round =
+  if Obskit.Sink.enabled st.team_sink then
+    for m = 0 to Array.length st.wave_planned - 1 do
+      let member = m in
+      let planned = st.wave_planned.(m) in
+      (* lint: allow no-alloc -- closure built only when tracing is on *)
+      Obskit.Sink.record st.team_sink (fun () ->
+          Obskit.Event.Plan_wave { round; member; planned })
+    done
+
+let parallel_visit st team ~round ~traced =
+  let count = Simkit.Pqueue.length st.queue in
+  ensure_wave_capacity st count;
+  let members = Simkit.Team.members team in
+  st.wave_count <- count;
+  st.wave_chunk <- (count + members - 1) / members;
+  st.wave_cache <-
+    (not traced) && (match st.faults with None -> true | Some _ -> false);
+  Simkit.Team.run team st.wave_job;
+  wave_merge st ~round;
+  (* Serial in-order commit: the same mutation order as the
+     sequential walk. *)
+  for k = 0 to count - 1 do
+    let msg = Simkit.Pqueue.get st.queue k in
+    if not msg.M.delivered then begin
+      st.cur_birth <- msg.M.birth;
+      commit_slot st ~round ~traced st.slots.(k) msg
+    end
+  done;
+  (* Drop the delivered in place, preserving order — the same final
+     queue the sequential iter_filter leaves. *)
+  (* lint: allow no-alloc -- one filter closure per round, not per turn *)
+  Simkit.Pqueue.iter_filter st.queue (fun (msg : M.t) -> not msg.M.delivered)
+
 let tick st round =
   st.cur_round <- round;
   (* Fault-window maintenance and scheduled crashes happen at the
@@ -549,18 +880,10 @@ let tick st round =
      priority buffer for this round. *)
   inject st ~round;
   Simkit.Pqueue.commit st.queue;
-  (* lint: allow no-alloc -- one visitor closure per round, not per turn *)
-  Simkit.Pqueue.iter_filter st.queue (fun (msg : M.t) ->
-      if msg.M.delivered then false
-      else begin
-        st.cur_birth <- msg.M.birth;
-        (match st.faults with
-        | Some inj -> faulty_turn st inj ~round msg
-        | None ->
-            if traced then traced_turn st ~round msg
-            else untraced_turn st ~round msg);
-        not msg.M.delivered
-      end);
+  (match st.team with
+  | Some team when Simkit.Pqueue.length st.queue >= par_threshold ->
+      parallel_visit st team ~round ~traced
+  | Some _ | None -> seq_visit st ~round ~traced);
   (* Φ is O(n) to compute, so it is sampled only on traced runs. *)
   if traced then
     (* lint: allow no-alloc -- closure built only when tracing is on *)
@@ -568,8 +891,17 @@ let tick st round =
         Obskit.Event.Phi_sample { round; phi = Potential.phi st.t })
 (* lint: hot-end *)
 
-let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) ?faults
-    ?(check_invariants = false) t trace =
+let shutdown st =
+  match st.team with
+  | None -> ()
+  | Some team ->
+      st.team <- None;
+      Simkit.Team.shutdown team
+
+let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null)
+    ?(team_sink = Obskit.Sink.null) ?faults ?(check_invariants = false)
+    ?(domains = 1) t trace =
+  if domains < 1 then invalid_arg "Concurrent.run: domains must be >= 1";
   let window = default_window t window in
   let injector =
     match faults with
@@ -577,9 +909,14 @@ let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) ?faults
     | Some plan -> Some (Faultkit.Injector.create plan ~n:(T.n t))
   in
   let st =
-    create config ~window ~sink ~faults:injector ~check:check_invariants t
-      trace
+    create config ~window ~sink ~team_sink ~faults:injector
+      ~check:check_invariants t trace
   in
+  if domains > 1 then begin
+    st.team <- Some (Simkit.Team.create ~members:domains ());
+    st.wave_planned <- Array.make domains 0;
+    st.wave_job <- (fun m -> wave_member st m)
+  end;
   let sched =
     {
       Simkit.Engine.label = "cbn";
@@ -589,6 +926,7 @@ let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) ?faults
     }
   in
   let finalize rounds =
+    shutdown st;
     let chaos =
       match st.faults with
       | None -> Run_stats.no_chaos
@@ -609,25 +947,38 @@ let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null) ?faults
   in
   (st, sched, finalize)
 
-let scheduler ?config ?window ?sink ?faults ?check_invariants t trace =
+let scheduler ?config ?window ?sink ?team_sink ?faults ?check_invariants
+    ?domains t trace =
   let _, sched, finalize =
-    make ?config ?window ?sink ?faults ?check_invariants t trace
+    make ?config ?window ?sink ?team_sink ?faults ?check_invariants ?domains t
+      trace
   in
   (sched, finalize)
 
-let run ?config ?window ?max_rounds ?sink ?faults ?check_invariants t trace =
-  let sched, finalize =
-    scheduler ?config ?window ?sink ?faults ?check_invariants t trace
+let run ?config ?window ?max_rounds ?sink ?team_sink ?faults ?check_invariants
+    ?domains t trace =
+  let st, sched, finalize =
+    make ?config ?window ?sink ?team_sink ?faults ?check_invariants ?domains t
+      trace
   in
-  let rounds = Simkit.Engine.run_exn ?max_rounds sched in
+  let rounds =
+    Fun.protect
+      ~finally:(fun () -> shutdown st)
+      (fun () -> Simkit.Engine.run_exn ?max_rounds sched)
+  in
   finalize rounds
 
-let run_with_latencies ?config ?window ?max_rounds ?sink ?faults
-    ?check_invariants t trace =
+let run_with_latencies ?config ?window ?max_rounds ?sink ?team_sink ?faults
+    ?check_invariants ?domains t trace =
   let st, sched, finalize =
-    make ?config ?window ?sink ?faults ?check_invariants t trace
+    make ?config ?window ?sink ?team_sink ?faults ?check_invariants ?domains t
+      trace
   in
-  let rounds = Simkit.Engine.run_exn ?max_rounds sched in
+  let rounds =
+    Fun.protect
+      ~finally:(fun () -> shutdown st)
+      (fun () -> Simkit.Engine.run_exn ?max_rounds sched)
+  in
   let stats = finalize rounds in
   let count = ref 0 in
   Arena.iter st.arena (fun m ->

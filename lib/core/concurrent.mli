@@ -19,15 +19,25 @@
     {!Simkit.Pqueue}, and step planning fills one reusable
     {!Step.buffer}.  {!Reference} keeps the original list-based round
     loop as an executable specification; the two produce bit-identical
-    statistics, telemetry payloads and final trees. *)
+    statistics, telemetry payloads and final trees.
+
+    With [domains > 1] the executor parallelizes each round internally
+    (docs/PERFORMANCE.md): a team of domains speculatively plans the
+    ready set's turns against the frozen start-of-round tree, recording
+    each turn's exact read set with per-node mutation stamps, and the
+    caller then commits the slots serially in sequential order —
+    replanning any turn whose reads went stale.  Every output remains
+    bit-identical to [domains = 1] at any domain count. *)
 
 val run :
   ?config:Config.t ->
   ?window:int ->
   ?max_rounds:int ->
   ?sink:Obskit.Sink.t ->
+  ?team_sink:Obskit.Sink.t ->
   ?faults:Faultkit.Plan.t ->
   ?check_invariants:bool ->
+  ?domains:int ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Run_stats.t
@@ -72,7 +82,15 @@ val run :
     the exact same {!Run_stats.t} as an untraced one, bit for bit —
     and with the null sink every emission site is a single branch.
 
-    @raise Invalid_argument on an unsorted trace or bad endpoints.
+    [domains] (default 1) runs the round loop's plan phase on that
+    many domains (including the caller).  [team_sink] (default
+    {!Obskit.Sink.null}) receives one [Plan_wave] event per member per
+    parallel round, in member order; it is separate from [sink]
+    because the run sink's streams are bit-identical across domain
+    counts while wave telemetry is inherently per-team.
+
+    @raise Invalid_argument on an unsorted trace, bad endpoints, or
+    [domains < 1].
     @raise Simkit.Engine.Budget_exhausted if rounds exceed [max_rounds]
     (a liveness failure, not a legitimate outcome). *)
 
@@ -81,8 +99,10 @@ val run_with_latencies :
   ?window:int ->
   ?max_rounds:int ->
   ?sink:Obskit.Sink.t ->
+  ?team_sink:Obskit.Sink.t ->
   ?faults:Faultkit.Plan.t ->
   ?check_invariants:bool ->
+  ?domains:int ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Run_stats.t * float array
@@ -95,8 +115,10 @@ val scheduler :
   ?config:Config.t ->
   ?window:int ->
   ?sink:Obskit.Sink.t ->
+  ?team_sink:Obskit.Sink.t ->
   ?faults:Faultkit.Plan.t ->
   ?check_invariants:bool ->
+  ?domains:int ->
   Bstnet.Topology.t ->
   (int * int * int) array ->
   Simkit.Engine.scheduler * (int -> Run_stats.t)
@@ -104,7 +126,9 @@ val scheduler :
     the engine scheduler plus a finalizer producing the statistics
     given the executed round count.  The finalizer folds over {e all}
     messages created so far (delivered or not), so it is meaningful
-    after a truncated embedding too. *)
+    after a truncated embedding too.  With [domains > 1] the finalizer
+    also joins and shuts the plan-wave team down, so it must be called
+    even on a truncated embedding (or the domains leak until exit). *)
 
 (** The original list-based round loop, kept verbatim as the
     executable specification of the executor above: per-round

@@ -173,8 +173,14 @@ let probe_down_into st t ~current:x ~dst =
    the rotation, and fills the movement/bookkeeping fields.  When the
    step does not rotate the probed cluster is already final; when it
    does, the anchor is folded in at the front (matching the list
-   planner's [cons_if_real] order). *)
-let resolve_into st config t =
+   planner's [cons_if_real] order).
+
+   [~ro] selects the read-only ΔΦ twins (no rank-memo writes) so the
+   parallel plan wave can resolve speculatively from several domains
+   at once; the float results are bit-identical either way.  The
+   branch is a plain bool test at each ΔΦ call site (not a closure) to
+   keep the hot path allocation-free. *)
+let resolve_gen ~ro st config t =
   let x = st.cluster0 in
   let dst = st.dst in
   match st.kind with
@@ -186,7 +192,10 @@ let resolve_into st config t =
          (Algorithm 1, line 3) — so it forwards here instead of
          rotating itself above the root. *)
       let p = st.cluster1 in
-      let delta_phi = Potential.delta_promote t x in
+      let delta_phi =
+        if ro then Potential.delta_promote_ro t x
+        else Potential.delta_promote t x
+      in
       let rotate =
         delta_phi < -.config.Config.delta && not (dst = T.nil && T.is_root t p)
       in
@@ -204,7 +213,10 @@ let resolve_into st config t =
       (* Semi zig-zig: one rotation promoting p over g; the message
          hops to p, which now sits two levels higher. *)
       let p = st.cluster1 and g = st.cluster2 in
-      let delta_phi = Potential.delta_promote t p in
+      let delta_phi =
+        if ro then Potential.delta_promote_ro t p
+        else Potential.delta_promote t p
+      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -222,7 +234,10 @@ let resolve_into st config t =
          update message never promotes itself onto the root — it must
          end its climb by delivering +2 there. *)
       let p = st.cluster1 and g = st.cluster2 in
-      let delta_phi = Potential.delta_double_promote t x in
+      let delta_phi =
+        if ro then Potential.delta_double_promote_ro t x
+        else Potential.delta_double_promote t x
+      in
       let rotate =
         delta_phi < -.config.Config.delta && not (dst = T.nil && T.is_root t g)
       in
@@ -239,7 +254,10 @@ let resolve_into st config t =
   | Td_zig ->
       (* One level left: zig boundary case promoting the destination. *)
       let y = st.cluster1 in
-      let delta_phi = Potential.delta_promote t y in
+      let delta_phi =
+        if ro then Potential.delta_promote_ro t y
+        else Potential.delta_promote t y
+      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -252,7 +270,10 @@ let resolve_into st config t =
       (* Semi zig-zig: promote y over x; the path below is pulled one
          level up and the message lands on z. *)
       let y = st.cluster1 and z = st.cluster2 in
-      let delta_phi = Potential.delta_promote t y in
+      let delta_phi =
+        if ro then Potential.delta_promote_ro t y
+        else Potential.delta_promote t y
+      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -265,7 +286,10 @@ let resolve_into st config t =
       (* Semi zig-zag: double-promote z to x's old position; y and x
          drop off the remaining path and the message lands on z. *)
       let y = st.cluster1 and z = st.cluster2 in
-      let delta_phi = Potential.delta_double_promote t z in
+      let delta_phi =
+        if ro then Potential.delta_double_promote_ro t z
+        else Potential.delta_double_promote t z
+      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -277,6 +301,9 @@ let resolve_into st config t =
         set_cluster st st.anchor x y z
       end
       else set_passed st y z
+
+let resolve_into st config t = resolve_gen ~ro:false st config t
+let resolve_ro_into st config t = resolve_gen ~ro:true st config t
 (* lint: hot-end *)
 
 let plan_up_into st config t ~current ~dst =

@@ -41,6 +41,7 @@ type payload =
       queue_depth : int;
       elapsed_us : float;
     }
+  | Plan_wave of { round : int; member : int; planned : int }
   | Span of { name : string; phase : span_phase }
   | Fault_injected of { round : int; kind : fault; node : int; msg : int }
   | Node_down of { round : int; node : int; until : int }
@@ -74,6 +75,7 @@ let name = function
   | Phi_sample _ -> "phi_sample"
   | Msg_delivered _ -> "msg_delivered"
   | Pool_task _ -> "pool_task"
+  | Plan_wave _ -> "plan_wave"
   | Span _ -> "span"
   | Fault_injected _ -> "fault_injected"
   | Node_down _ -> "node_down"
@@ -133,6 +135,9 @@ let payload_fields buf = function
         "\"task\":%d,\"phase\":\"%s\",\"queue_depth\":%d,\"elapsed_us\":%s" task
         (pool_phase_to_string phase)
         queue_depth (num elapsed_us)
+  | Plan_wave { round; member; planned } ->
+      Printf.bprintf buf "\"round\":%d,\"member\":%d,\"planned\":%d" round
+        member planned
   | Span { name; phase } ->
       Printf.bprintf buf "\"name\":\"%s\",\"phase\":\"%s\"" (escape name)
         (span_phase_to_string phase)

@@ -67,6 +67,12 @@ type payload =
       queue_depth : int;
       elapsed_us : float;  (** Task wall time; meaningful at [Done]. *)
     }
+  | Plan_wave of { round : int; member : int; planned : int }
+      (** One team member's share of a parallel speculative plan wave:
+          it probed [planned] plannable turns this round.  Emitted by
+          the caller after the join, in member order, to the dedicated
+          team sink — never the run sink, whose stream must stay
+          bit-identical across domain counts. *)
   | Span of { name : string; phase : span_phase }
       (** Experiment phases ([cell:...], [seed:...]); properly nested
           per emitting domain. *)

@@ -35,6 +35,7 @@ val run :
   ?window:int ->
   ?sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
+  ?domains:int ->
   t ->
   Workloads.Trace.t ->
   Cbnet.Run_stats.t
@@ -45,6 +46,10 @@ val run :
     [sink] (default null) forwards telemetry to the CBNet executions
     ({!Cbnet.Sequential} for SCBN, {!Cbnet.Concurrent} for CBN); the
     baseline algorithms are not instrumented and ignore it.
+
+    [domains] (default 1) parallelizes the CBN round loop across that
+    many domains (see {!Cbnet.Concurrent}); results are bit-identical
+    at every domain count.  The other algorithms ignore it.
 
     [check_invariants] (default [false]) audits the final tree with
     {!Bstnet.Check.structural} and raises [Failure] on a violation —

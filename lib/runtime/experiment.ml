@@ -25,11 +25,12 @@ let trace_for ?(scale = Workloads.Catalog.Default) ?(lambda = 0.05) ~workload
    can run on any domain.  On traced runs the whole seed is wrapped in
    a span, so the per-domain tracks of the trace show which seed ran
    where and for how long. *)
-let run_seed ~sink ~config ~scale ~lambda ~base_seed ~check ~workload ~algo i =
+let run_seed ~sink ~config ~scale ~lambda ~base_seed ~check ~domains ~workload
+    ~algo i =
   let seed = base_seed + (1009 * i) in
   let body () =
     let trace = trace_for ~scale ~lambda ~workload ~seed () in
-    Algo.run ~config ~sink ~check_invariants:check algo trace
+    Algo.run ~config ~sink ~check_invariants:check ~domains algo trace
   in
   if Obskit.Sink.enabled sink then
     Obskit.Sink.span sink
@@ -96,13 +97,13 @@ let aggregate ~workload ~algo ~seeds per_seed =
 let run_cell ?pool ?(config = Cbnet.Config.default)
     ?(scale = Workloads.Catalog.Default) ?(seeds = 5) ?(lambda = 0.05)
     ?(base_seed = 1) ?(sink = Obskit.Sink.null) ?(check_invariants = false)
-    ~workload ~algo () =
+    ?(domains = 1) ~workload ~algo () =
   if seeds < 1 then invalid_arg "Experiment.run_cell: seeds must be >= 1";
   let cell () =
     let per_seed =
       collect ?pool seeds
         (run_seed ~sink ~config ~scale ~lambda ~base_seed
-           ~check:check_invariants ~workload ~algo)
+           ~check:check_invariants ~domains ~workload ~algo)
     in
     aggregate ~workload ~algo ~seeds per_seed
   in
@@ -115,7 +116,7 @@ let run_cell ?pool ?(config = Cbnet.Config.default)
 let run_matrix ?pool ?(config = Cbnet.Config.default)
     ?(scale = Workloads.Catalog.Default) ?(seeds = 5) ?(lambda = 0.05)
     ?(base_seed = 1) ?(sink = Obskit.Sink.null) ?(check_invariants = false)
-    ~workloads ~algos () =
+    ?(domains = 1) ~workloads ~algos () =
   if seeds < 1 then invalid_arg "Experiment.run_matrix: seeds must be >= 1";
   let cells =
     Array.of_list
@@ -131,7 +132,7 @@ let run_matrix ?pool ?(config = Cbnet.Config.default)
     collect ?pool (n_cells * seeds) (fun k ->
         let workload, algo = cells.(k / seeds) in
         run_seed ~sink ~config ~scale ~lambda ~base_seed
-          ~check:check_invariants ~workload ~algo (k mod seeds))
+          ~check:check_invariants ~domains ~workload ~algo (k mod seeds))
   in
   List.init n_cells (fun ci ->
       let workload, algo = cells.(ci) in

@@ -34,6 +34,7 @@ val run_cell :
   ?base_seed:int ->
   ?sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
+  ?domains:int ->
   workload:string ->
   algo:Algo.t ->
   unit ->
@@ -50,7 +51,13 @@ val run_cell :
     Traced measurements are bit-identical to untraced ones.
 
     [check_invariants] (default [false]) audits every per-seed final
-    tree with {!Bstnet.Check.all} (see {!Algo.run}). *)
+    tree with {!Bstnet.Check.all} (see {!Algo.run}).
+
+    [domains] (default 1) parallelizes each CBN execution's round loop
+    (see {!Algo.run}); orthogonal to [?pool], which parallelizes
+    across seeds.  Combining both oversubscribes the machine — prefer
+    seed-level [?pool] for matrices and [domains] for single large
+    runs.  Measurements are bit-identical at every domain count. *)
 
 val run_matrix :
   ?pool:Simkit.Pool.t ->
@@ -61,6 +68,7 @@ val run_matrix :
   ?base_seed:int ->
   ?sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
+  ?domains:int ->
   workloads:string list ->
   algos:Algo.t list ->
   unit ->

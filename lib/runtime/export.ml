@@ -99,6 +99,39 @@ let bench_json ~commit ~timestamp cells path =
         cells;
       output_string oc "\n  ]\n}\n")
 
+type scaling_row = {
+  workload : string;
+  domains : int;
+  rounds : int;
+  messages : int;
+  wall_seconds : float;
+}
+
+let scaling_json ~commit ~timestamp ~host_cores rows path =
+  with_out path (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"commit\": \"%s\",\n  \"timestamp\": \"%s\",\n  \"host_cores\": \
+         %d,\n"
+        (json_escape commit) (json_escape timestamp) host_cores;
+      output_string oc "  \"rows\": [";
+      List.iteri
+        (fun i (r : scaling_row) ->
+          if i > 0 then output_string oc ",";
+          let rate total =
+            if r.wall_seconds > 0.0 then float_of_int total /. r.wall_seconds
+            else 0.0
+          in
+          Printf.fprintf oc
+            "\n    {\"workload\": \"%s\", \"domains\": %d, \"rounds\": %d, \
+             \"messages\": %d, \"wall_seconds\": %s, \"rounds_per_sec\": %s, \
+             \"msgs_per_sec\": %s}"
+            (json_escape r.workload) r.domains r.rounds r.messages
+            (json_float r.wall_seconds)
+            (json_float (rate r.rounds))
+            (json_float (rate r.messages)))
+        rows;
+      output_string oc "\n  ]\n}\n")
+
 type chaos_row = {
   workload : string;
   plan : string;
@@ -236,6 +269,14 @@ let chrome_trace events path =
           instant ~ts ~tid "pool_enqueue" (sp "\"task\":%d" task);
         ]
     | E.Pool_task { phase = E.Start; _ } -> []
+    (* One track per team member (tid = member id) so the per-round
+       plan-wave shares line up as lanes. *)
+    | E.Plan_wave { round; member; planned } ->
+        [
+          instant ~ts ~tid:member "plan_wave"
+            (sp "\"round\":%d,\"member\":%d,\"planned\":%d" round member
+               planned);
+        ]
     | E.Pool_task { task; phase = E.Done; elapsed_us; _ } ->
         [
           sp

@@ -27,6 +27,32 @@ val bench_json :
     ([bench/compare_bench.exe] diffs two of them).  Hand-rolled writer
     — no JSON dependency. *)
 
+type scaling_row = {
+  workload : string;
+  domains : int;  (** Domain count of the executor's plan wave. *)
+  rounds : int;
+  messages : int;
+  wall_seconds : float;  (** Minimum wall clock across repetitions. *)
+}
+(** One [bench perf-scaling] curve point: the concurrent executor on
+    one workload trace at one domain count. *)
+
+val scaling_json :
+  commit:string ->
+  timestamp:string ->
+  host_cores:int ->
+  scaling_row list ->
+  string ->
+  unit
+(** Machine-readable cores-vs-throughput export
+    ([BENCH_SCALING_BASELINE.json], [bench-scaling.json]): the root
+    carries [host_cores] (the runner's
+    [Domain.recommended_domain_count]) so the CI gate
+    ([bench/compare_bench.exe --scaling]) can tell which points were
+    measured on enough cores to be meaningful; each row adds derived
+    [rounds_per_sec]/[msgs_per_sec] rates.  Hand-rolled writer — no
+    JSON dependency. *)
+
 type chaos_row = {
   workload : string;
   plan : string;  (** The fault plan's one-line text form. *)

@@ -32,6 +32,9 @@ let recorder reg (ev : E.t) =
         (Printf.sprintf "cbnet_pool_busy_us_total{domain=\"%d\"}" ev.E.domain)
         (int_of_float elapsed_us)
   | E.Pool_task { phase = E.Start; _ } -> ()
+  | E.Plan_wave { planned; _ } ->
+      M.incr reg "cbnet_plan_waves_total";
+      M.observe reg "cbnet_plan_wave_planned" (float_of_int planned)
   | E.Span { phase = E.End; _ } -> M.incr reg "cbnet_spans_total"
   | E.Span { phase = E.Begin; _ } -> ()
   | E.Fault_injected { kind; _ } ->

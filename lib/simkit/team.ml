@@ -1,0 +1,131 @@
+(* A fixed team of domains for intra-round fan-out: unlike [Pool]
+   (queue of independent tasks, results gathered), a team re-runs a
+   short data-parallel job every round, so the workers stay alive and
+   the per-round cost is one publication + one join, not a domain
+   spawn.  The caller is member 0; [members - 1] domains serve the
+   remaining ids. *)
+
+type mode = Spin | Block
+
+type t = {
+  members : int;
+  mode : mode;
+  mutable job : int -> unit;
+  (* Publication protocol: the caller writes [job], resets [pending],
+     then increments [epoch] — the atomic write publishes the plain
+     [job] write to every worker that observes the new epoch (OCaml's
+     memory model orders plain accesses around atomics). *)
+  epoch : int Atomic.t;
+  pending : int Atomic.t;
+  failed : exn option Atomic.t;
+  stop : bool Atomic.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable domains : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let is_block = function Block -> true | Spin -> false
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record_failure t e = ignore (Atomic.compare_and_set t.failed None (Some e))
+
+let worker t _id =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    (match t.mode with
+    | Spin ->
+        while
+          Atomic.get t.epoch = !seen && not (Atomic.get t.stop)
+        do
+          Domain.cpu_relax ()
+        done
+    | Block ->
+        with_lock t (fun () ->
+            while Atomic.get t.epoch = !seen && not (Atomic.get t.stop) do
+              Condition.wait t.cond t.lock
+            done));
+    if Atomic.get t.stop then running := false
+    else begin
+      seen := Atomic.get t.epoch;
+      (try t.job _id with e -> record_failure t e);
+      let left = Atomic.fetch_and_add t.pending (-1) - 1 in
+      (* The last worker home wakes the (possibly blocked) caller. *)
+      if left = 0 && is_block t.mode then
+        with_lock t (fun () -> Condition.broadcast t.cond)
+    end
+  done
+
+let create ?mode ~members () =
+  if members < 1 then invalid_arg "Team.create: members must be >= 1";
+  let mode =
+    match mode with
+    | Some m -> m
+    | None ->
+        (* Spinning workers on an oversubscribed machine would starve
+           each other (and the caller) out of the physical cores;
+           block on a condvar instead and pay the wake-up latency. *)
+        if members <= Domain.recommended_domain_count () then Spin
+        else Block
+  in
+  let t =
+    {
+      members;
+      mode;
+      job = (fun _ -> ());
+      epoch = Atomic.make 0;
+      pending = Atomic.make 0;
+      failed = Atomic.make None;
+      stop = Atomic.make false;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      domains = [||];
+      alive = true;
+    }
+  in
+  t.domains <-
+    Array.init (members - 1) (fun i ->
+        Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let members t = t.members
+let mode t = t.mode
+
+let run t job =
+  if t.members = 1 then job 0
+  else begin
+    t.job <- job;
+    Atomic.set t.pending (t.members - 1);
+    Atomic.incr t.epoch;
+    (match t.mode with
+    | Spin -> ()
+    | Block -> with_lock t (fun () -> Condition.broadcast t.cond));
+    (* The caller is member 0; its failure is recorded like a worker's
+       so the join below always happens (workers must not outlive the
+       round holding a reference to [job]). *)
+    (try job 0 with e -> record_failure t e);
+    (match t.mode with
+    | Spin -> while Atomic.get t.pending > 0 do Domain.cpu_relax () done
+    | Block ->
+        with_lock t (fun () ->
+            while Atomic.get t.pending > 0 do
+              Condition.wait t.cond t.lock
+            done));
+    match Atomic.exchange t.failed None with
+    | None -> ()
+    | Some e -> raise e
+  end
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Atomic.set t.stop true;
+    (match t.mode with
+    | Spin -> ()
+    | Block -> with_lock t (fun () -> Condition.broadcast t.cond));
+    Array.iter Domain.join t.domains
+  end

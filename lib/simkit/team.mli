@@ -1,0 +1,42 @@
+(** A fixed team of worker domains for intra-round data parallelism.
+
+    Where {!Pool} distributes a bag of independent tasks (one result
+    each, arbitrary completion order), a team repeatedly fans the
+    {e same} short job out over member ids [0 .. members-1] and joins —
+    the shape of a per-round parallel phase.  The workers are spawned
+    once and parked between rounds, so the steady-state cost of a
+    round is one publication and one join rather than [members] domain
+    spawns.
+
+    The calling thread is member 0 and runs its share in place; only
+    [members - 1] domains are spawned ([members = 1] spawns none and
+    degenerates to a plain call). *)
+
+type t
+
+type mode =
+  | Spin  (** park on [Domain.cpu_relax] — lowest handoff latency *)
+  | Block
+      (** park on a condition variable — chosen automatically when the
+          team would oversubscribe the machine, where spinning workers
+          starve each other off the physical cores *)
+
+val create : ?mode:mode -> members:int -> unit -> t
+(** Spawn a team of [members] (>= 1, caller included).  Without [?mode]
+    the team spins iff [members <= Domain.recommended_domain_count ()].
+    @raise Invalid_argument when [members < 1]. *)
+
+val members : t -> int
+val mode : t -> mode
+
+val run : t -> (int -> unit) -> unit
+(** [run t job] executes [job id] once for every member id, member 0 on
+    the calling thread, and returns when all members are done.  The job
+    must partition its work by id; writes made by the workers are
+    visible to the caller after [run] returns (the join is an acquire).
+    If any member raises, [run] re-raises the first recorded exception
+    after all members finish.  Not reentrant: one [run] at a time. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the team must not
+    be [run] afterwards. *)

@@ -129,6 +129,123 @@ let test_pair_empty_plan ~workload ~seed () =
   check_stats (ctx ^ " untraced") sc sd;
   check_trees (ctx ^ " untraced") tc td
 
+(* ------------------------------------------------------------------
+   Intra-round parallelism: at every domain count the parallel
+   executor must be bit-identical to the sequential oracle — stats,
+   latencies, run-sink payload streams and final trees — traced and
+   untraced, with and without an (empty) fault plan.  The reference
+   run for each (workload, seed) is computed once and shared across
+   domain counts. *)
+
+let parallel_workloads = [ "projector"; "skewed"; "uniform" ]
+let domain_counts = [ 1; 2; 4 ]
+let oracle_cache = Hashtbl.create 16
+
+(* Reference oracle for (workload, seed): trace, stats, sorted
+   latencies, traced payload stream and final tree. *)
+let oracle ~workload ~seed =
+  let key = Printf.sprintf "%s/%d" workload seed in
+  match Hashtbl.find_opt oracle_cache key with
+  | Some o -> o
+  | None ->
+      let n, trace = trace_of ~workload ~seed in
+      let tb = Build.balanced n in
+      let (sb, lb), eb =
+        capture_payloads (fun sink -> Ref.run_with_latencies ~sink tb trace)
+      in
+      Array.sort compare lb;
+      let o = (n, trace, sb, lb, eb, tb) in
+      Hashtbl.add oracle_cache key o;
+      o
+
+let check_events ctx ea eb =
+  Alcotest.(check int)
+    (ctx ^ ": event count")
+    (List.length eb) (List.length ea);
+  List.iteri
+    (fun i (pa, pb) ->
+      if pa <> pb then
+        Alcotest.failf "%s: event %d differs: %s vs %s" ctx i
+          (Obskit.Event.name pa) (Obskit.Event.name pb))
+    (List.combine ea eb)
+
+let test_parallel ~workload ~seed ~domains () =
+  let ctx = Printf.sprintf "parallel d=%d %s/seed %d" domains workload seed in
+  let n, trace, sb, lb, eb, tb = oracle ~workload ~seed in
+  (* Traced. *)
+  let ta = Build.balanced n in
+  let (sa, la), ea =
+    capture_payloads (fun sink ->
+        Conc.run_with_latencies ~sink ~domains ta trace)
+  in
+  check_stats ctx sa sb;
+  check_trees ctx ta tb;
+  Array.sort compare la;
+  Alcotest.(check (array (float 0.0))) (ctx ^ ": sorted latencies") lb la;
+  check_events ctx ea eb;
+  (* Untraced (the shape-cache fast path interleaves with the wave). *)
+  let tc = Build.balanced n in
+  let sc = Conc.run ~domains tc trace in
+  check_stats (ctx ^ " untraced") sc sb;
+  check_trees (ctx ^ " untraced") tc tb;
+  (* Empty fault plan: every turn takes the fault-aware commit. *)
+  let td = Build.balanced n in
+  let empty = Faultkit.Plan.make ~seed:0 [] in
+  let (sd, ld), ed =
+    capture_payloads (fun sink ->
+        Conc.run_with_latencies ~sink ~faults:empty ~domains td trace)
+  in
+  check_stats (ctx ^ " empty plan") sd sb;
+  check_trees (ctx ^ " empty plan") td tb;
+  Array.sort compare ld;
+  Alcotest.(check (array (float 0.0)))
+    (ctx ^ " empty plan: sorted latencies")
+    lb ld;
+  check_events (ctx ^ " empty plan") ed eb
+
+(* The wave must actually engage (the ready set crosses the parallel
+   threshold) and report itself: every team-sink event is a Plan_wave
+   with a member id below the domain count, covering member 0. *)
+let test_parallel_wave_telemetry () =
+  let domains = 2 in
+  let n, trace = trace_of ~workload:"projector" ~seed:1 in
+  let events = ref [] in
+  let team_sink =
+    Obskit.Sink.stream (fun (e : Obskit.Event.t) ->
+        events := e.Obskit.Event.payload :: !events)
+  in
+  let _ = Conc.run ~domains ~team_sink (Build.balanced n) trace in
+  let waves = List.rev !events in
+  Alcotest.(check bool)
+    "parallel rounds happened (threshold crossed)" true
+    (List.length waves > 0);
+  let seen0 = ref false in
+  List.iter
+    (fun p ->
+      match p with
+      | Obskit.Event.Plan_wave { member; planned; _ } ->
+          if member = 0 then seen0 := true;
+          Alcotest.(check bool) "member in range" true (member < domains);
+          Alcotest.(check bool) "planned non-negative" true (planned >= 0)
+      | p -> Alcotest.failf "unexpected team event %s" (Obskit.Event.name p))
+    waves;
+  Alcotest.(check bool) "member 0 reported" true !seen0
+
+(* Truncating a parallel run mid-flight must produce the oracle's
+   statistics too, and the finalizer must shut the team down. *)
+let test_parallel_truncated_finalize () =
+  let n, trace = trace_of ~workload:"projector" ~seed:3 in
+  let ta = Build.balanced n and tb = Build.balanced n in
+  let sched_a, fin_a = Conc.scheduler ~domains:4 ta trace in
+  let sched_b, fin_b = Ref.scheduler tb trace in
+  let rounds = 20 in
+  for r = 0 to rounds - 1 do
+    sched_a.Simkit.Engine.tick r;
+    sched_b.Simkit.Engine.tick r
+  done;
+  check_stats "parallel truncated" (fin_a rounds) (fin_b rounds);
+  check_trees "parallel truncated" ta tb
+
 (* The scheduler finalizer must account for in-flight messages too:
    truncating both executors mid-run (before quiescence) must still
    produce identical statistics. *)
@@ -194,12 +311,35 @@ let empty_plan_cases =
         seeds)
     workloads
 
+let parallel_cases =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun domains ->
+              Alcotest.test_case
+                (Printf.sprintf "%s seed %d domains %d" workload seed domains)
+                `Quick
+                (test_parallel ~workload ~seed ~domains))
+            domain_counts)
+        seeds)
+    parallel_workloads
+
 let () =
   Alcotest.run "equivalence"
     [
       ("executor pairs", pair_cases);
       ("executor pairs untraced", untraced_cases);
       ("executor pairs empty fault plan", empty_plan_cases);
+      ("parallel executor", parallel_cases);
+      ( "parallel machinery",
+        [
+          Alcotest.test_case "wave telemetry" `Quick
+            test_parallel_wave_telemetry;
+          Alcotest.test_case "parallel truncated finalize" `Quick
+            test_parallel_truncated_finalize;
+        ] );
       ( "finalization",
         [
           Alcotest.test_case "truncated finalize" `Quick

@@ -1,0 +1,110 @@
+(* Simkit.Team: fixed worker-domain teams for intra-round fan-out.
+   Both parking modes are forced explicitly — the CI box may report a
+   single recommended domain, which would otherwise always pick
+   Block. *)
+
+module Team = Simkit.Team
+
+let modes = [ ("spin", Team.Spin); ("block", Team.Block) ]
+
+(* Every member must run exactly once per round, and the caller must
+   see all their writes after the join. *)
+let test_slice_sums mode () =
+  let members = 4 in
+  let team = Team.create ~mode ~members () in
+  Fun.protect
+    ~finally:(fun () -> Team.shutdown team)
+    (fun () ->
+      Alcotest.(check int) "members" members (Team.members team);
+      let items = 1000 in
+      let data = Array.init items (fun i -> i + 1) in
+      let partial = Array.make members 0 in
+      let chunk = (items + members - 1) / members in
+      Team.run team (fun m ->
+          let lo = m * chunk in
+          let hi = min items (lo + chunk) in
+          let acc = ref 0 in
+          for i = lo to hi - 1 do
+            acc := !acc + data.(i)
+          done;
+          partial.(m) <- !acc);
+      let total = Array.fold_left ( + ) 0 partial in
+      Alcotest.(check int) "slice sum" (items * (items + 1) / 2) total)
+
+(* Reuse: many rounds over the same team, each publishing a fresh job
+   closure, must all join correctly. *)
+let test_reuse mode () =
+  let members = 3 in
+  let team = Team.create ~mode ~members () in
+  Fun.protect
+    ~finally:(fun () -> Team.shutdown team)
+    (fun () ->
+      let hits = Array.make members 0 in
+      for _round = 1 to 50 do
+        Team.run team (fun m -> hits.(m) <- hits.(m) + 1)
+      done;
+      Array.iteri
+        (fun m h ->
+          Alcotest.(check int) (Printf.sprintf "member %d rounds" m) 50 h)
+        hits)
+
+exception Boom of int
+
+(* A member failure surfaces on the caller after the join, and the
+   team survives it: the next round still runs. *)
+let test_exception mode () =
+  let team = Team.create ~mode ~members:2 () in
+  Fun.protect
+    ~finally:(fun () -> Team.shutdown team)
+    (fun () ->
+      let raised =
+        try
+          Team.run team (fun m -> if m = 1 then raise (Boom m));
+          false
+        with Boom 1 -> true
+      in
+      Alcotest.(check bool) "worker exception re-raised" true raised;
+      let ok = Array.make 2 false in
+      Team.run team (fun m -> ok.(m) <- true);
+      Alcotest.(check bool) "team survives a failed round" true
+        (ok.(0) && ok.(1)))
+
+(* members = 1 degenerates to a plain call: no domains, job runs on
+   the caller. *)
+let test_solo () =
+  let team = Team.create ~members:1 () in
+  let ran = ref false in
+  Team.run team (fun m ->
+      Alcotest.(check int) "solo member id" 0 m;
+      ran := true);
+  Alcotest.(check bool) "solo job ran" true !ran;
+  Team.shutdown team
+
+let test_shutdown_idempotent mode () =
+  let team = Team.create ~mode ~members:3 () in
+  Team.run team (fun _ -> ());
+  Team.shutdown team;
+  Team.shutdown team
+
+let test_bad_members () =
+  Alcotest.check_raises "members = 0" (Invalid_argument
+    "Team.create: members must be >= 1") (fun () ->
+      ignore (Team.create ~members:0 ()))
+
+let per_mode name f =
+  List.map
+    (fun (label, mode) ->
+      Alcotest.test_case (Printf.sprintf "%s (%s)" name label) `Quick (f mode))
+    modes
+
+let () =
+  Alcotest.run "team"
+    [
+      ("slice sums", per_mode "slice sums" test_slice_sums);
+      ("reuse", per_mode "reuse across rounds" test_reuse);
+      ("failures", per_mode "exception propagation" test_exception);
+      ( "lifecycle",
+        Alcotest.test_case "solo team" `Quick test_solo
+        :: Alcotest.test_case "bad members" `Quick test_bad_members
+        :: per_mode "shutdown idempotent" test_shutdown_idempotent );
+    ]
