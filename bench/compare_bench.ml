@@ -3,6 +3,7 @@
      compare_bench OLD.json NEW.json [--threshold PCT]
      compare_bench --scaling BASELINE.json NEW.json [--threshold PCT]
                    [--min-speedup X]
+     compare_bench --profile BASELINE.json NEW.json
 
    Default mode matches cells by (workload, algo) and compares
    rounds_per_sec.  Exit 1 when any matching cell regressed by more
@@ -10,6 +11,13 @@
    Cells present on only one side, or missing the metric (older
    artifacts predate it), are reported and skipped — the step must
    stay useful against historical files.
+
+   --profile diffs two profile_json artifacts (bench perf --profile):
+   per-phase share-of-round-wall deltas in percentage points plus the
+   speculation rates (stamp hit rate, wave imbalance).  Purely
+   advisory — phase shares shift with machine load and domain count,
+   so the step reports trends and exits 0 unless an input is
+   unreadable (exit 2).
 
    --scaling compares two scaling_json curves (bench perf-scaling)
    instead: rows match by (workload, domains), and each file's
@@ -302,11 +310,85 @@ let compare_scaling ~threshold ~min_speedup old_path new_path =
     !failures;
   !failures
 
+(* One profile_json artifact (Runtime.Export.profile_json), reduced
+   to what the advisory diff needs. *)
+type prof = {
+  domains : int;
+  rounds : int;
+  shares : (string * float) list;  (** phase -> share of round wall. *)
+  stamp_hit_rate : float option;
+  avg_imbalance : float option;
+}
+
+let profile_of_file path =
+  let root = read_json path in
+  let shares =
+    match field root "phases" with
+    | Some (List ps) ->
+        List.filter_map
+          (fun p ->
+            match (str_field p "phase", num_field p "share") with
+            | Some name, Some share -> Some (name, share)
+            | _ -> None)
+          ps
+    | _ -> raise (Parse_error "no \"phases\" array")
+  in
+  let spec = field root "speculation" in
+  let spec_field k =
+    match spec with Some s -> num_field s k | None -> None
+  in
+  {
+    domains =
+      (match num_field root "domains" with
+      | Some d -> int_of_float d
+      | None -> 0);
+    rounds =
+      (match num_field root "rounds" with
+      | Some r -> int_of_float r
+      | None -> 0);
+    shares;
+    stamp_hit_rate = spec_field "stamp_hit_rate";
+    avg_imbalance = spec_field "avg_wave_imbalance";
+  }
+
+(* The --profile advisory report: never blocking, always exit 0 on
+   readable inputs. *)
+let compare_profile old_path new_path =
+  let o = profile_of_file old_path in
+  let nw = profile_of_file new_path in
+  Printf.printf
+    "profile: baseline domains=%d rounds=%d, current domains=%d rounds=%d\n"
+    o.domains o.rounds nw.domains nw.rounds;
+  if o.domains <> nw.domains then
+    Printf.printf
+      "note  domain counts differ; phase shares are not comparable 1:1\n";
+  List.iter
+    (fun (phase, nshare) ->
+      match List.assoc_opt phase o.shares with
+      | Some oshare ->
+          Printf.printf "info  %-16s share %5.1f%% -> %5.1f%%  (%+.1fpp)\n"
+            phase (100.0 *. oshare) (100.0 *. nshare)
+            (100.0 *. (nshare -. oshare))
+      | None -> Printf.printf "NEW   %-16s share %5.1f%%\n" phase (100.0 *. nshare))
+    nw.shares;
+  (match (o.stamp_hit_rate, nw.stamp_hit_rate) with
+  | Some a, Some b ->
+      Printf.printf "info  stamp_hit_rate   %5.3f -> %5.3f  (%+.3f)\n" a b
+        (b -. a)
+  | _ -> ());
+  (match (o.avg_imbalance, nw.avg_imbalance) with
+  | Some a, Some b ->
+      Printf.printf "info  avg_imbalance    %5.2f -> %5.2f  (%+.2f)\n" a b
+        (b -. a)
+  | _ -> ());
+  Printf.printf "profile diff is advisory; not gating\n"
+
 let () =
   let args = Array.to_list Sys.argv in
   let threshold = ref 20.0 in
   let min_speedup = ref 1.5 in
   let scaling = ref false in
+  let profile = ref false in
   let files = ref [] in
   let positive_float flag v =
     match float_of_string_opt v with
@@ -326,12 +408,26 @@ let () =
     | "--scaling" :: rest ->
         scaling := true;
         parse_args rest
+    | "--profile" :: rest ->
+        profile := true;
+        parse_args rest
     | a :: rest ->
         files := a :: !files;
         parse_args rest
   in
   parse_args (List.tl args);
   match List.rev !files with
+  | [ old_path; new_path ] when !profile -> (
+      try
+        compare_profile old_path new_path;
+        exit 0
+      with
+      | Parse_error msg ->
+          Printf.eprintf "compare_bench: parse error: %s\n" msg;
+          exit 2
+      | Sys_error msg ->
+          Printf.eprintf "compare_bench: %s\n" msg;
+          exit 2)
   | [ old_path; new_path ] when !scaling -> (
       try
         let failures =
@@ -403,5 +499,6 @@ let () =
       prerr_endline
         "usage: compare_bench OLD.json NEW.json [--threshold PCT]\n\
         \       compare_bench --scaling BASELINE.json NEW.json [--threshold \
-         PCT] [--min-speedup X]";
+         PCT] [--min-speedup X]\n\
+        \       compare_bench --profile BASELINE.json NEW.json";
       exit 2

@@ -33,6 +33,11 @@ let check_invariants_flag = ref false
    across seeds.  Results are bit-identical at every setting. *)
 let domains_flag = ref 1
 
+(* --profile FILE: phase-level self-profiling of the CBN executor
+   (Profkit).  perf runs a dedicated profiled pass, prints the phase
+   attribution table and writes the machine-readable profile JSON. *)
+let profile_flag = ref None
+
 let micro fmt =
   let open Bechamel in
   let rng = Simkit.Rng.create 7 in
@@ -110,7 +115,9 @@ let micro fmt =
 (* Run the full (workload x algorithm) matrix cell by cell, timing
    each cell's wall clock.  Seeds fan out across the pool inside each
    cell; the measurements are bit-identical to a sequential run. *)
-let timed_matrix ?(sink = Obskit.Sink.null) (options : Runtime.Figures.options) =
+let timed_matrix ?(sink = Obskit.Sink.null) ?profile ?domains
+    (options : Runtime.Figures.options) =
+  let domains = match domains with Some d -> d | None -> !domains_flag in
   let run pool =
     List.concat_map
       (fun workload ->
@@ -121,9 +128,9 @@ let timed_matrix ?(sink = Obskit.Sink.null) (options : Runtime.Figures.options) 
               Runtime.Experiment.run_cell ?pool ~scale:options.Runtime.Figures.scale
                 ~seeds:options.Runtime.Figures.seeds
                 ~lambda:options.Runtime.Figures.lambda
-                ~base_seed:options.Runtime.Figures.base_seed ~sink
+                ~base_seed:options.Runtime.Figures.base_seed ~sink ?profile
                 ~check_invariants:!check_invariants_flag
-                ~domains:!domains_flag ~workload ~algo ()
+                ~domains ~workload ~algo ()
             in
             (c, Unix.gettimeofday () -. t0))
           Runtime.Algo.all)
@@ -195,57 +202,176 @@ let export_csv ?(sink = Obskit.Sink.null) dir
   Runtime.Export.measurements_csv cells path;
   Format.printf "wrote %d cells to %s@." (List.length cells) path
 
-(* Telemetry overhead guard for CI.  Three interleaved min-of-N pairs:
-   the matrix with no sink argument (the default) vs. the matrix with
-   an explicit null sink — both must hit the same compiled-out path, so
-   any systematic gap means an instrumentation site stopped guarding
-   with [Sink.enabled].  A ring-sink run is also timed (reported, not
-   gated) and all three must produce bit-identical measurements. *)
+(* Telemetry/profiling overhead guard for CI.  Interleaved min-of-N
+   legs over the smoke matrix, all executed in the caller (jobs = 1 —
+   pool fan-out would add scheduler noise and the profiled leg cannot
+   fan out, Profkit.Profile.t being unsynchronized):
+
+     base1 — no sink argument (the compiled-out default path)
+     null  — an explicit null sink (must hit the same path: a gap
+             means an instrumentation site stopped guarding with
+             [Sink.enabled])
+     prof1 — profile-on (null prof_sink): the Profkit contract
+     base2 / prof2 — the same pair at [--domains 2], so the profiling
+             budget is enforced on the parallel round loop too (the
+             wave itself pays for team spawn/join — that is
+             parallelism cost, not observability cost, so dom2 walls
+             gate against the dom2 untraced baseline, not base1)
+
+   null and prof1 are gated at base1 + 2%, prof2 at base2 + 2% (each
+   plus an absolute slack for sub-second smoke runs); a ring-sink run
+   is also timed (reported, not gated).  Every leg must produce
+   bit-identical measurements — telemetry, profiling and the plan wave
+   are all purely observational or speculative-with-serial-commit. *)
 let overhead_check options =
+  (* Serial execution for every gated leg: identical code path, no
+     pool scheduling noise, and run_cell forbids ?profile with ?pool. *)
+  let options = { options with Runtime.Figures.jobs = 1 } in
   let time f =
     let t0 = Unix.gettimeofday () in
     let cells = f () in
     (Unix.gettimeofday () -. t0, List.map fst cells)
   in
-  let base_wall = ref infinity and base_cells = ref [] in
-  let null_wall = ref infinity and null_cells = ref [] in
+  let leg f =
+    let wall = ref infinity and cells = ref [] in
+    (wall, cells, f)
+  in
+  let base1_wall, base1_cells, base1_run = leg (fun () -> timed_matrix options) in
+  let null_wall, null_cells, null_run =
+    leg (fun () -> timed_matrix ~sink:Obskit.Sink.null options)
+  in
+  let prof1_wall, prof1_cells, prof1_run =
+    leg (fun () -> timed_matrix ~profile:(Profkit.Profile.create ()) options)
+  in
+  let base2_wall, base2_cells, base2_run =
+    leg (fun () -> timed_matrix ~domains:2 options)
+  in
+  let prof2_wall, prof2_cells, prof2_run =
+    leg (fun () ->
+        timed_matrix ~profile:(Profkit.Profile.create ()) ~domains:2 options)
+  in
+  let legs =
+    [
+      (base1_wall, base1_cells, base1_run);
+      (null_wall, null_cells, null_run);
+      (prof1_wall, prof1_cells, prof1_run);
+      (base2_wall, base2_cells, base2_run);
+      (prof2_wall, prof2_cells, prof2_run);
+    ]
+  in
   for _ = 1 to 3 do
-    let w, c = time (fun () -> timed_matrix options) in
-    if w < !base_wall then base_wall := w;
-    base_cells := c;
-    let w, c = time (fun () -> timed_matrix ~sink:Obskit.Sink.null options) in
-    if w < !null_wall then null_wall := w;
-    null_cells := c
+    List.iter
+      (fun (wall, cells, run) ->
+        let w, c = time run in
+        if w < !wall then wall := w;
+        cells := c)
+      legs
   done;
   let ring = Obskit.Sink.Ring.create ~capacity:1_000_000 in
   let ring_wall, ring_cells =
     time (fun () -> timed_matrix ~sink:(Obskit.Sink.Ring.sink ring) options)
   in
-  Format.printf "== OVERHEAD-CHECK: null telemetry sink (smoke matrix) ==@.";
-  Format.printf "untraced   min wall = %.3fs@." !base_wall;
-  Format.printf "null sink  min wall = %.3fs (%+.1f%%)@." !null_wall
-    (100.0 *. ((!null_wall /. !base_wall) -. 1.0));
-  Format.printf "ring sink      wall = %.3fs (%+.1f%%, %d events)@." ring_wall
-    (100.0 *. ((ring_wall /. !base_wall) -. 1.0))
+  Format.printf
+    "== OVERHEAD-CHECK: telemetry + profiling (smoke matrix, serial) ==@.";
+  let pct base w = 100.0 *. ((w /. base) -. 1.0) in
+  Format.printf "untraced             min wall = %.3fs@." !base1_wall;
+  Format.printf "null sink            min wall = %.3fs (%+.1f%%)@." !null_wall
+    (pct !base1_wall !null_wall);
+  Format.printf "profile-on           min wall = %.3fs (%+.1f%%)@." !prof1_wall
+    (pct !base1_wall !prof1_wall);
+  Format.printf "untraced domains=2   min wall = %.3fs@." !base2_wall;
+  Format.printf "profile-on domains=2 min wall = %.3fs (%+.1f%%)@." !prof2_wall
+    (pct !base2_wall !prof2_wall);
+  Format.printf "ring sink                wall = %.3fs (%+.1f%%, %d events)@."
+    ring_wall
+    (pct !base1_wall ring_wall)
     (Obskit.Sink.Ring.length ring);
   let ok = ref true in
-  if not (!base_cells = !null_cells && !base_cells = ring_cells) then begin
+  let identical =
+    !base1_cells = !null_cells
+    && !base1_cells = !prof1_cells
+    && !base1_cells = !base2_cells
+    && !base1_cells = !prof2_cells
+    && !base1_cells = ring_cells
+  in
+  if not identical then begin
     ok := false;
     prerr_endline
-      "overhead-check: FAIL: traced measurements differ from untraced \
-       (telemetry must be purely observational)"
+      "overhead-check: FAIL: traced/profiled/parallel measurements differ \
+       from untraced (telemetry and profiling must be purely observational)"
   end
-  else Format.printf "measurements: bit-identical across all sinks@.";
+  else
+    Format.printf
+      "measurements: bit-identical across all sinks, profile-on and \
+       domains 1/2@.";
   (* 2% relative plus 50ms absolute slack so sub-second smoke runs do
      not fail on scheduler noise. *)
-  if !null_wall > (!base_wall *. 1.02) +. 0.05 then begin
-    ok := false;
-    Printf.eprintf
-      "overhead-check: FAIL: null-sink wall %.3fs exceeds untraced %.3fs + 2%%\n"
-      !null_wall !base_wall
-  end
-  else Format.printf "null-sink overhead: within 2%% budget@.";
+  let gate name wall base =
+    if !wall > (!base *. 1.02) +. 0.05 then begin
+      ok := false;
+      Printf.eprintf
+        "overhead-check: FAIL: %s wall %.3fs exceeds its untraced baseline \
+         %.3fs + 2%%\n"
+        name !wall !base
+    end
+    else Format.printf "%s overhead: within 2%% budget@." name
+  in
+  gate "null-sink" null_wall base1_wall;
+  gate "profile-on" prof1_wall base1_wall;
+  gate "profile-on domains=2" prof2_wall base2_wall;
   if not !ok then exit 1
+
+(* The perf --profile pass: the concurrent executor over the same
+   smoke matrix (CBN only), every seed profiled into one Profkit
+   profile — seeds run in the caller because Profile.t is
+   unsynchronized.  Prints the phase attribution table plus the
+   speculation counters, writes the machine-readable profile JSON and
+   fails loudly if the phase times cover less than 90% of the measured
+   round wall (attribution is exclusive and contiguous, so they sum to
+   100% by construction — a shortfall means an executor path stopped
+   driving the round lifecycle). *)
+let perf_profile (options : Runtime.Figures.options) json fmt =
+  let open Profkit in
+  let profile = Profile.create () in
+  List.iter
+    (fun workload ->
+      ignore
+        (Runtime.Experiment.run_cell ~scale:Workloads.Catalog.Smoke
+           ~seeds:options.Runtime.Figures.seeds
+           ~lambda:options.Runtime.Figures.lambda
+           ~base_seed:options.Runtime.Figures.base_seed ~profile
+           ~check_invariants:!check_invariants_flag ~domains:!domains_flag
+           ~workload ~algo:Runtime.Algo.CBN ()))
+    Workloads.Catalog.paper_six;
+  let wall = Profile.wall_us profile in
+  let covered =
+    List.fold_left
+      (fun acc phase -> acc +. Profile.total_us profile phase)
+      0.0 Profile.phases
+  in
+  Runtime.Report.profile
+    ~title:
+      (Printf.sprintf
+         "PERF --profile: CBN phase attribution (smoke matrix, seeds=%d, \
+          domains=%d)"
+         options.Runtime.Figures.seeds !domains_flag)
+    profile fmt;
+  let coverage = if wall > 0.0 then covered /. wall else 0.0 in
+  Format.fprintf fmt "phase coverage: %.1f%% of round wall@."
+    (100.0 *. coverage);
+  if coverage < 0.9 then begin
+    Printf.eprintf
+      "perf --profile: FAIL: phase times cover %.1f%% of round wall (< 90%%)\n"
+      (100.0 *. coverage);
+    exit 1
+  end;
+  match json with
+  | Some path ->
+      Runtime.Export.profile_json ~commit:(detect_commit ())
+        ~timestamp:(iso8601_now ()) ~workload:"paper-six-smoke"
+        ~domains:!domains_flag profile path;
+      Format.fprintf fmt "wrote profile to %s@." path
+  | None -> ()
 
 (* Single-domain throughput microbenchmark of the concurrent executor
    on the smoke matrix.  Each cell is executed [reps] times and the
@@ -296,11 +422,14 @@ let perf ?(reps = 3) (options : Runtime.Figures.options) json fmt =
         (rate c.Runtime.Experiment.rounds.Simkit.Stats.total)
         (rate msgs) (rate hops) wall)
     cells;
-  match json with
+  (match json with
   | Some path ->
       Runtime.Export.bench_json ~commit:(detect_commit ())
         ~timestamp:(iso8601_now ()) cells path;
       Format.fprintf fmt "wrote %d perf cells to %s@." (List.length cells) path
+  | None -> ());
+  match !profile_flag with
+  | Some path -> perf_profile options (Some path) fmt
   | None -> ()
 
 (* Cores-vs-throughput scaling curve of the concurrent executor's
@@ -488,8 +617,8 @@ let chaos (options : Runtime.Figures.options) json fmt =
 
 let usage =
   "usage: main.exe [--full] [--seeds N] [--jobs N] [--domains N] [--csv DIR] \
-   [--json FILE] [--trace FILE] [--metrics FILE] [--check-invariants] \
-   [--mode ARTIFACT] [ARTIFACT ...]\n\
+   [--json FILE] [--trace FILE] [--metrics FILE] [--profile FILE] \
+   [--check-invariants] [--mode ARTIFACT] [ARTIFACT ...]\n\
    artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
    micro bench-smoke overhead-check perf perf-scaling chaos\n\
    (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
@@ -500,6 +629,8 @@ let usage =
   \ 1); perf-scaling sweeps domains 1/2/4/8 itself and ignores the flag.\n\
    --trace FILE writes a Chrome/Perfetto trace of the matrix runs\n\
   \ (bench-smoke, --json, --csv); --metrics FILE writes Prometheus text.\n\
+   --profile FILE (perf only) runs a profiled CBN pass: phase attribution\n\
+  \ table on stdout, machine-readable profile JSON to FILE.\n\
    --check-invariants audits every final tree with Bstnet.Check.structural;\n\
   \ chaos always checks, including after every mid-run repair."
 
@@ -531,7 +662,8 @@ let () =
         full := true;
         parse rest
     | [ "--seeds" ] | [ "--jobs" ] | [ "--domains" ] | [ "--csv" ]
-    | [ "--json" ] | [ "--trace" ] | [ "--metrics" ] | [ "--mode" ] ->
+    | [ "--json" ] | [ "--trace" ] | [ "--metrics" ] | [ "--mode" ]
+    | [ "--profile" ] ->
         die "missing value for trailing option"
     | "--seeds" :: v :: rest ->
         seeds := Some (int_value "--seeds" v);
@@ -553,6 +685,9 @@ let () =
         parse rest
     | "--metrics" :: file :: rest ->
         metrics := Some file;
+        parse rest
+    | "--profile" :: file :: rest ->
+        profile_flag := Some file;
         parse rest
     | "--check-invariants" :: rest ->
         check_invariants_flag := true;
@@ -693,8 +828,8 @@ let () =
   | names -> List.iter (fun name -> (List.assoc name artifacts) ()) names);
   (match (!trace, ring) with
   | Some path, Some r ->
-      Runtime.Export.chrome_trace (Obskit.Sink.Ring.contents r) path;
       let dropped = Obskit.Sink.Ring.dropped r in
+      Runtime.Export.chrome_trace ~dropped (Obskit.Sink.Ring.contents r) path;
       Format.printf "wrote %d trace events to %s%s@."
         (Obskit.Sink.Ring.length r)
         path
@@ -703,6 +838,9 @@ let () =
   | _ -> ());
   match (!metrics, registry) with
   | Some path, Some reg ->
-      Runtime.Export.prometheus reg path;
+      let events_dropped =
+        match ring with Some r -> Obskit.Sink.Ring.dropped r | None -> 0
+      in
+      Runtime.Export.prometheus ~events_dropped reg path;
       Format.printf "wrote metrics to %s@." path
   | _ -> ()

@@ -138,8 +138,8 @@ let run_cmd =
     Format.printf "%s: %a@." (Runtime.Algo.name algo) Cbnet.Run_stats.pp stats;
     (match (trace_file, ring) with
     | Some path, Some r ->
-        Runtime.Export.chrome_trace (Obskit.Sink.Ring.contents r) path;
         let dropped = Obskit.Sink.Ring.dropped r in
+        Runtime.Export.chrome_trace ~dropped (Obskit.Sink.Ring.contents r) path;
         Format.printf "wrote %d trace events to %s%s@."
           (Obskit.Sink.Ring.length r)
           path
@@ -148,7 +148,10 @@ let run_cmd =
     | _ -> ());
     match (metrics_file, registry) with
     | Some path, Some reg ->
-        Runtime.Export.prometheus reg path;
+        let events_dropped =
+          match ring with Some r -> Obskit.Sink.Ring.dropped r | None -> 0
+        in
+        Runtime.Export.prometheus ~events_dropped reg path;
         Format.printf "wrote metrics to %s@." path
     | _ -> ()
   in
@@ -156,6 +159,53 @@ let run_cmd =
     Term.(
       const run $ workload_arg $ algo_arg $ trace_file_arg $ metrics_file_arg
       $ check_invariants_arg $ domains_arg $ options_term)
+
+let report_profile_cmd =
+  let doc =
+    "Run the concurrent CBNet executor on one workload with phase-level \
+     self-profiling and print the attribution report."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Also write the machine-readable profile JSON to $(docv).")
+  in
+  let run workload out check_invariants domains options =
+    let domains = resolve_domains domains in
+    let trace =
+      Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
+        ~lambda:options.Runtime.Figures.lambda ~workload
+        ~seed:options.Runtime.Figures.base_seed ()
+    in
+    Format.printf "%a@." Workloads.Trace.pp_summary trace;
+    let profile = Profkit.Profile.create () in
+    let stats =
+      Runtime.Algo.run ~profile ~check_invariants ~domains Runtime.Algo.CBN
+        trace
+    in
+    Format.printf "CBN: %a@." Cbnet.Run_stats.pp stats;
+    Runtime.Report.profile
+      ~title:
+        (Printf.sprintf "CBN phase attribution (%s, domains=%d)" workload
+           domains)
+      profile Format.std_formatter;
+    match out with
+    | Some path ->
+        Runtime.Export.profile_json ~commit:"cli" ~timestamp:"" ~workload
+          ~domains profile path;
+        Format.printf "wrote profile to %s@." path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ workload_arg $ out_arg $ check_invariants_arg $ domains_arg
+      $ options_term)
+
+let report_cmd =
+  let doc = "Self-profiling reports of the executors." in
+  Cmd.group (Cmd.info "report" ~doc) [ report_profile_cmd ]
 
 let complexity_cmd =
   let doc = "Measure the trace complexity (T, NT, Psi) of a workload." in
@@ -249,6 +299,7 @@ let main =
       figure_cmd "timeline-fig" "Adaptation timelines." Runtime.Figures.timeline;
       figure_cmd "latency" "Delivery-latency percentiles." Runtime.Figures.latency;
       run_cmd;
+      report_cmd;
       complexity_cmd;
       export_cmd;
       timeline_cmd;

@@ -109,12 +109,22 @@ let new_slot () =
 (* Below this ready-set size the wave's handoff dwarfs the work. *)
 let par_threshold = 32
 
+module Prof = Profkit.Profile
+
 type state = {
   config : Config.t;
   t : T.t;
   trace : (int * int * int) array;
   window : int;  (* admission control: max data messages in flight *)
   sink : Obskit.Sink.t;  (* telemetry; Sink.null compiles to no-ops *)
+  profile : Prof.t option;
+      (* phase timers + speculation counters; [None] keeps every
+         profiling site a single branch.  Strictly observational: a
+         profiled run is bit-identical to an unprofiled one. *)
+  prof_sink : Obskit.Sink.t;
+      (* Phase_time events of profiled rounds.  A separate sink, like
+         [team_sink]: the run sink's stream must stay bit-identical
+         whether or not profiling is on. *)
   faults : Faultkit.Injector.t option;
       (* fault injection (Faultkit); [None] keeps the executor on the
          plain hot path, bit-identical to pre-faultkit behaviour *)
@@ -144,6 +154,17 @@ type state = {
   mutable wave_cache : bool;  (* honour the shape cache (untraced, fault-free) *)
   mutable wave_job : int -> unit;  (* preallocated member job *)
 }
+
+(* Profiling shims: a single branch (and no allocation) when profiling
+   is off, a counter bump or clock read when on. *)
+let prof st phase =
+  match st.profile with None -> () | Some p -> Prof.enter p phase
+
+let prof_conflict st =
+  match st.profile with None -> () | Some p -> Prof.conflict p
+
+let prof_shape_hit st =
+  match st.profile with None -> () | Some p -> Prof.shape_hit p
 
 (* lint: hot *)
 let finish st (msg : M.t) =
@@ -177,7 +198,8 @@ let spawner st ~origin ~first_increment =
   else Simkit.Pqueue.stage st.queue u
 (* lint: hot-end *)
 
-let create config ~window ~sink ~team_sink ~faults ~check t trace =
+let create config ~window ~sink ~profile ~prof_sink ~team_sink ~faults ~check
+    t trace =
   validate t trace;
   if window < 1 then invalid_arg "Concurrent.run: window must be >= 1";
   (* Exactly one update per data message, so the arena never grows
@@ -191,6 +213,8 @@ let create config ~window ~sink ~team_sink ~faults ~check t trace =
       trace;
       window;
       sink;
+      profile;
+      prof_sink;
       faults;
       check;
       arena = Arena.create ~capacity;
@@ -284,6 +308,7 @@ let claim st ~round (p : Step.t) =
 let record_conflict st ~round ~traced (msg : M.t) ~was_rotation =
   if was_rotation then msg.M.bypasses <- msg.M.bypasses + 1
   else msg.M.pauses <- msg.M.pauses + 1;
+  prof_conflict st;
   if traced then
     (* lint: allow no-alloc -- closure built only when tracing is on *)
     Obskit.Sink.record st.sink (fun () ->
@@ -410,7 +435,8 @@ let untraced_probe_turn st ~round (msg : M.t) =
          same either way, so ΔΦ is irrelevant. *)
       if st.claims.(hit) land 1 = 1 then
         msg.M.bypasses <- msg.M.bypasses + 1
-      else msg.M.pauses <- msg.M.pauses + 1
+      else msg.M.pauses <- msg.M.pauses + 1;
+      prof_conflict st
     end
     else begin
       Step.resolve_into st.plan st.config st.t;
@@ -432,6 +458,7 @@ let untraced_turn st ~round (msg : M.t) =
     && T.version st.t msg.M.shape_c1 = msg.M.shape_v1
     && (msg.M.shape_c2 = T.nil || T.version st.t msg.M.shape_c2 = msg.M.shape_v2)
   then begin
+    prof_shape_hit st;
     let hit =
       shape_hit st ~round ~c0 ~c1:msg.M.shape_c1 ~c2:msg.M.shape_c2
         ~anchor:msg.M.shape_anchor
@@ -439,7 +466,8 @@ let untraced_turn st ~round (msg : M.t) =
     if hit <> T.nil then begin
       if st.claims.(hit) land 1 = 1 then
         msg.M.bypasses <- msg.M.bypasses + 1
-      else msg.M.pauses <- msg.M.pauses + 1
+      else msg.M.pauses <- msg.M.pauses + 1;
+      prof_conflict st
     end
     else begin
       (* Cluster free (or only the anchor contended): the turn may
@@ -467,9 +495,13 @@ let untraced_turn st ~round (msg : M.t) =
    deposited, so a mid-run (or end-of-run) tree legitimately fails
    Check.weights while being perfectly well-formed. *)
 let check_now st =
-  match Bstnet.Check.structural st.t with
+  (* Only ever called mid-commit (abort-repair path), so the phase
+     switch returns to Commit. *)
+  prof st Prof.Invariant_check;
+  (match Bstnet.Check.structural st.t with
   | Ok () -> ()
-  | Error e -> failwith ("Concurrent: invariant violated after repair: " ^ e)
+  | Error e -> failwith ("Concurrent: invariant violated after repair: " ^ e));
+  prof st Prof.Commit
 
 (* True when some node of the plan's cluster is crashed: the step
    cannot execute and the message parks, charging makespan only —
@@ -619,6 +651,19 @@ let faulty_turn st inj ~round (msg : M.t) =
   then faulty_resolved st inj ~round msg st.plan
   else finish st msg
 
+(* Per-round Phase_time emission to the profiling sink — deliberately
+   outside the hot region: it runs only when a profile and an enabled
+   prof sink are both present, and the event closures are the point. *)
+let emit_phase_times st p ~round =
+  List.iter
+    (fun phase ->
+      let elapsed_us = Prof.phase_round_us p phase in
+      if elapsed_us > 0. then
+        Obskit.Sink.record st.prof_sink (fun () ->
+            Obskit.Event.Phase_time
+              { round; phase = Prof.phase_name phase; elapsed_us }))
+    Prof.phases
+
 (* ------------------------------------------------------------------
    The speculative plan wave (domains > 1).  Everything in this
    section up to the commit walk runs concurrently on team members and
@@ -738,18 +783,37 @@ let slot_valid st (slot : slot) =
   done;
   !ok
 
+(* The plain sequential turn, also the per-slot fallback of the
+   parallel commit. *)
+let seq_turn st ~round ~traced (msg : M.t) =
+  match st.faults with
+  | Some inj -> faulty_turn st inj ~round msg
+  | None ->
+      if traced then traced_turn st ~round msg else untraced_turn st ~round msg
+
 (* Commit one message's turn from its wave slot, on the caller, in
    sequential order.  A stale or unspeculated slot falls back to the
    plain sequential turn; a valid one commits the speculated plan the
    sequential executor would have recomputed verbatim. *)
 let commit_slot st ~round ~traced (slot : slot) (msg : M.t) =
-  if slot.tag = tag_seq || not (slot_valid st slot) then
-    match st.faults with
-    | Some inj -> faulty_turn st inj ~round msg
-    | None ->
-        if traced then traced_turn st ~round msg
-        else untraced_turn st ~round msg
+  if slot.tag = tag_seq then begin
+    (match st.profile with None -> () | Some p -> Prof.seq_slot p);
+    seq_turn st ~round ~traced msg
+  end
+  else if not (slot_valid st slot) then begin
+    (match st.profile with
+    | None -> ()
+    | Some p ->
+        Prof.stamp_miss p;
+        Prof.fallback p);
+    seq_turn st ~round ~traced msg
+  end
   else begin
+    (match st.profile with
+    | None -> ()
+    | Some p ->
+        Prof.stamp_hit p;
+        if slot.tag = tag_deliver then Prof.deliver_slot p else Prof.replay p);
     (* The wave never flips phases; apply the climb resumption the
        sequential probe would have performed before using the plan. *)
     if slot.flags land Protocol.spec_climb <> 0 then
@@ -795,7 +859,8 @@ let commit_slot st ~round ~traced (slot : slot) (msg : M.t) =
           if hit <> T.nil then begin
             if st.claims.(hit) land 1 = 1 then
               msg.M.bypasses <- msg.M.bypasses + 1
-            else msg.M.pauses <- msg.M.pauses + 1
+            else msg.M.pauses <- msg.M.pauses + 1;
+            prof_conflict st
           end
           else resolved_turn st ~round ~traced:false msg slot.splan
         end
@@ -838,6 +903,7 @@ let wave_merge st ~round =
     done
 
 let parallel_visit st team ~round ~traced =
+  prof st Prof.Plan_wave;
   let count = Simkit.Pqueue.length st.queue in
   ensure_wave_capacity st count;
   let members = Simkit.Team.members team in
@@ -847,6 +913,20 @@ let parallel_visit st team ~round ~traced =
     (not traced) && (match st.faults with None -> true | Some _ -> false);
   Simkit.Team.run team st.wave_job;
   wave_merge st ~round;
+  (match st.profile with
+  | None -> ()
+  | Some p ->
+      (* Per-member load balance of the wave, over the slots it
+         actually speculated (tag_plan). *)
+      (* lint: allow no-alloc -- two tally refs per wave, profiling on *)
+      let slots = ref 0 and busiest = ref 0 in
+      for m = 0 to Array.length st.wave_planned - 1 do
+        let k = st.wave_planned.(m) in
+        slots := !slots + k;
+        if k > !busiest then busiest := k
+      done;
+      Prof.wave p ~members ~busiest:!busiest ~slots:!slots);
+  prof st Prof.Commit;
   (* Serial in-order commit: the same mutation order as the
      sequential walk. *)
   for k = 0 to count - 1 do
@@ -856,6 +936,7 @@ let parallel_visit st team ~round ~traced =
       commit_slot st ~round ~traced st.slots.(k) msg
     end
   done;
+  prof st Prof.Delivery;
   (* Drop the delivered in place, preserving order — the same final
      queue the sequential iter_filter leaves. *)
   (* lint: allow no-alloc -- one filter closure per round, not per turn *)
@@ -863,12 +944,16 @@ let parallel_visit st team ~round ~traced =
 
 let tick st round =
   st.cur_round <- round;
+  (match st.profile with None -> () | Some p -> Prof.round_begin p);
   (* Fault-window maintenance and scheduled crashes happen at the
      round boundary, before admission.  Without a plan the match is a
      single branch — the hot path allocates nothing. *)
   (match st.faults with
   | None -> ()
-  | Some inj -> Faultkit.Injector.begin_round inj st.t st.sink ~round);
+  | Some inj ->
+      prof st Prof.Fault_injection;
+      Faultkit.Injector.begin_round inj st.t st.sink ~round;
+      prof st Prof.Other);
   let traced = Obskit.Sink.enabled st.sink in
   if traced then
     (* lint: allow no-alloc -- closure built only when tracing is on *)
@@ -878,17 +963,29 @@ let tick st round =
   (* Newly admitted data messages join the staged batch alongside the
      updates spawned last round; one stable merge brings both into the
      priority buffer for this round. *)
+  prof st Prof.Inject;
   inject st ~round;
   Simkit.Pqueue.commit st.queue;
   (match st.team with
   | Some team when Simkit.Pqueue.length st.queue >= par_threshold ->
       parallel_visit st team ~round ~traced
-  | Some _ | None -> seq_visit st ~round ~traced);
+  | Some _ | None ->
+      (* The sequential visit plans, commits and delivers in one fused
+         walk: it all lands in the Commit phase (see Profkit.Profile). *)
+      prof st Prof.Commit;
+      seq_visit st ~round ~traced);
+  prof st Prof.Other;
   (* Φ is O(n) to compute, so it is sampled only on traced runs. *)
   if traced then
     (* lint: allow no-alloc -- closure built only when tracing is on *)
     Obskit.Sink.record st.sink (fun () ->
-        Obskit.Event.Phi_sample { round; phi = Potential.phi st.t })
+        Obskit.Event.Phi_sample { round; phi = Potential.phi st.t });
+  match st.profile with
+  | None -> ()
+  | Some p ->
+      Prof.round_close p;
+      if Obskit.Sink.enabled st.prof_sink then emit_phase_times st p ~round;
+      Prof.round_commit p
 (* lint: hot-end *)
 
 let shutdown st =
@@ -899,8 +996,8 @@ let shutdown st =
       Simkit.Team.shutdown team
 
 let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null)
-    ?(team_sink = Obskit.Sink.null) ?faults ?(check_invariants = false)
-    ?(domains = 1) t trace =
+    ?profile ?(prof_sink = Obskit.Sink.null) ?(team_sink = Obskit.Sink.null)
+    ?faults ?(check_invariants = false) ?(domains = 1) t trace =
   if domains < 1 then invalid_arg "Concurrent.run: domains must be >= 1";
   let window = default_window t window in
   let injector =
@@ -909,7 +1006,7 @@ let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null)
     | Some plan -> Some (Faultkit.Injector.create plan ~n:(T.n t))
   in
   let st =
-    create config ~window ~sink ~team_sink ~faults:injector
+    create config ~window ~sink ~profile ~prof_sink ~team_sink ~faults:injector
       ~check:check_invariants t trace
   in
   if domains > 1 then begin
@@ -947,19 +1044,19 @@ let make ?(config = Config.default) ?window ?(sink = Obskit.Sink.null)
   in
   (st, sched, finalize)
 
-let scheduler ?config ?window ?sink ?team_sink ?faults ?check_invariants
-    ?domains t trace =
+let scheduler ?config ?window ?sink ?profile ?prof_sink ?team_sink ?faults
+    ?check_invariants ?domains t trace =
   let _, sched, finalize =
-    make ?config ?window ?sink ?team_sink ?faults ?check_invariants ?domains t
-      trace
+    make ?config ?window ?sink ?profile ?prof_sink ?team_sink ?faults
+      ?check_invariants ?domains t trace
   in
   (sched, finalize)
 
-let run ?config ?window ?max_rounds ?sink ?team_sink ?faults ?check_invariants
-    ?domains t trace =
+let run ?config ?window ?max_rounds ?sink ?profile ?prof_sink ?team_sink
+    ?faults ?check_invariants ?domains t trace =
   let st, sched, finalize =
-    make ?config ?window ?sink ?team_sink ?faults ?check_invariants ?domains t
-      trace
+    make ?config ?window ?sink ?profile ?prof_sink ?team_sink ?faults
+      ?check_invariants ?domains t trace
   in
   let rounds =
     Fun.protect
@@ -968,11 +1065,11 @@ let run ?config ?window ?max_rounds ?sink ?team_sink ?faults ?check_invariants
   in
   finalize rounds
 
-let run_with_latencies ?config ?window ?max_rounds ?sink ?team_sink ?faults
-    ?check_invariants ?domains t trace =
+let run_with_latencies ?config ?window ?max_rounds ?sink ?profile ?prof_sink
+    ?team_sink ?faults ?check_invariants ?domains t trace =
   let st, sched, finalize =
-    make ?config ?window ?sink ?team_sink ?faults ?check_invariants ?domains t
-      trace
+    make ?config ?window ?sink ?profile ?prof_sink ?team_sink ?faults
+      ?check_invariants ?domains t trace
   in
   let rounds =
     Fun.protect

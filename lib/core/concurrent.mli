@@ -34,6 +34,8 @@ val run :
   ?window:int ->
   ?max_rounds:int ->
   ?sink:Obskit.Sink.t ->
+  ?profile:Profkit.Profile.t ->
+  ?prof_sink:Obskit.Sink.t ->
   ?team_sink:Obskit.Sink.t ->
   ?faults:Faultkit.Plan.t ->
   ?check_invariants:bool ->
@@ -89,6 +91,21 @@ val run :
     because the run sink's streams are bit-identical across domain
     counts while wave telemetry is inherently per-team.
 
+    [profile] (default absent) turns on phase-level self-profiling
+    (docs/OBSERVABILITY.md): every round is partitioned exclusively
+    and contiguously into fault-injection, inject, plan-wave, commit,
+    delivery, invariant-check and other phases whose times accumulate
+    into the caller-owned {!Profkit.Profile.t}, alongside speculation
+    counters (stamp hits/misses, replayed vs fallback slots,
+    shape-cache hits, claim conflicts, per-member wave imbalance).
+    Profiling is purely observational: a profiled run's statistics,
+    telemetry and final tree are bit-identical to an unprofiled one at
+    any domain count.  [prof_sink] (default {!Obskit.Sink.null})
+    receives one [Phase_time] event per non-empty phase per round when
+    [profile] is set; it is separate from [sink] for the same reason
+    [team_sink] is — the run sink's streams stay identical whether or
+    not profiling is on.
+
     @raise Invalid_argument on an unsorted trace, bad endpoints, or
     [domains < 1].
     @raise Simkit.Engine.Budget_exhausted if rounds exceed [max_rounds]
@@ -99,6 +116,8 @@ val run_with_latencies :
   ?window:int ->
   ?max_rounds:int ->
   ?sink:Obskit.Sink.t ->
+  ?profile:Profkit.Profile.t ->
+  ?prof_sink:Obskit.Sink.t ->
   ?team_sink:Obskit.Sink.t ->
   ?faults:Faultkit.Plan.t ->
   ?check_invariants:bool ->
@@ -115,6 +134,8 @@ val scheduler :
   ?config:Config.t ->
   ?window:int ->
   ?sink:Obskit.Sink.t ->
+  ?profile:Profkit.Profile.t ->
+  ?prof_sink:Obskit.Sink.t ->
   ?team_sink:Obskit.Sink.t ->
   ?faults:Faultkit.Plan.t ->
   ?check_invariants:bool ->

@@ -42,6 +42,7 @@ type payload =
       elapsed_us : float;
     }
   | Plan_wave of { round : int; member : int; planned : int }
+  | Phase_time of { round : int; phase : string; elapsed_us : float }
   | Span of { name : string; phase : span_phase }
   | Fault_injected of { round : int; kind : fault; node : int; msg : int }
   | Node_down of { round : int; node : int; until : int }
@@ -76,6 +77,7 @@ let name = function
   | Msg_delivered _ -> "msg_delivered"
   | Pool_task _ -> "pool_task"
   | Plan_wave _ -> "plan_wave"
+  | Phase_time _ -> "phase_time"
   | Span _ -> "span"
   | Fault_injected _ -> "fault_injected"
   | Node_down _ -> "node_down"
@@ -138,6 +140,9 @@ let payload_fields buf = function
   | Plan_wave { round; member; planned } ->
       Printf.bprintf buf "\"round\":%d,\"member\":%d,\"planned\":%d" round
         member planned
+  | Phase_time { round; phase; elapsed_us } ->
+      Printf.bprintf buf "\"round\":%d,\"phase\":\"%s\",\"elapsed_us\":%s"
+        round (escape phase) (num elapsed_us)
   | Span { name; phase } ->
       Printf.bprintf buf "\"name\":\"%s\",\"phase\":\"%s\"" (escape name)
         (span_phase_to_string phase)

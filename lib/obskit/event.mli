@@ -73,6 +73,13 @@ type payload =
           the caller after the join, in member order, to the dedicated
           team sink — never the run sink, whose stream must stay
           bit-identical across domain counts. *)
+  | Phase_time of { round : int; phase : string; elapsed_us : float }
+      (** Wall time one executor round spent in one
+          {!Profkit.Profile.phase} ("plan_wave", "commit", ...).
+          Emitted once per (round, phase) after the round closes, to
+          the dedicated profiling sink — never the run sink, whose
+          stream must stay bit-identical whether or not profiling is
+          on. *)
   | Span of { name : string; phase : span_phase }
       (** Experiment phases ([cell:...], [seed:...]); properly nested
           per emitting domain. *)

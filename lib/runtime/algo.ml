@@ -28,7 +28,8 @@ let is_static = function BT | OPT -> true | _ -> false
 let is_concurrent = function DSN | CBN | CBN_REF -> true | _ -> false
 
 let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
-    ?(check_invariants = false) ?(domains = 1) algo trace =
+    ?profile ?(prof_sink = Obskit.Sink.null) ?(check_invariants = false)
+    ?(domains = 1) algo trace =
   let n = trace.Workloads.Trace.n in
   let runs = Workloads.Trace.to_runs trace in
   (* Keep the topology so the invariant suite can audit the final
@@ -54,7 +55,8 @@ let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
       let t = Bstnet.Build.balanced n in
       check t (Cbnet.Sequential.run ~config ~sink t runs)
   | CBN ->
-      Cbnet.Concurrent.run ~config ?window ~sink ~check_invariants ~domains
+      Cbnet.Concurrent.run ~config ?window ~sink ?profile ~prof_sink
+        ~check_invariants ~domains
         (Bstnet.Build.balanced n) runs
   | CBN_REF ->
       let t = Bstnet.Build.balanced n in

@@ -34,6 +34,8 @@ val run :
   ?config:Cbnet.Config.t ->
   ?window:int ->
   ?sink:Obskit.Sink.t ->
+  ?profile:Profkit.Profile.t ->
+  ?prof_sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
   ?domains:int ->
   t ->
@@ -50,6 +52,12 @@ val run :
     [domains] (default 1) parallelizes the CBN round loop across that
     many domains (see {!Cbnet.Concurrent}); results are bit-identical
     at every domain count.  The other algorithms ignore it.
+
+    [profile] / [prof_sink] enable phase-level self-profiling on the
+    CBN executor (see {!Cbnet.Concurrent.run} and
+    {!Profkit.Profile}); the other algorithms ignore them.  Profiling
+    never changes results: a profiled CBN run is bit-identical to an
+    unprofiled one.
 
     [check_invariants] (default [false]) audits the final tree with
     {!Bstnet.Check.structural} and raises [Failure] on a violation —

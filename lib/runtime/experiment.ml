@@ -25,12 +25,13 @@ let trace_for ?(scale = Workloads.Catalog.Default) ?(lambda = 0.05) ~workload
    can run on any domain.  On traced runs the whole seed is wrapped in
    a span, so the per-domain tracks of the trace show which seed ran
    where and for how long. *)
-let run_seed ~sink ~config ~scale ~lambda ~base_seed ~check ~domains ~workload
-    ~algo i =
+let run_seed ?profile ?(prof_sink = Obskit.Sink.null) ~sink ~config ~scale
+    ~lambda ~base_seed ~check ~domains ~workload ~algo i =
   let seed = base_seed + (1009 * i) in
   let body () =
     let trace = trace_for ~scale ~lambda ~workload ~seed () in
-    Algo.run ~config ~sink ~check_invariants:check ~domains algo trace
+    Algo.run ~config ~sink ?profile ~prof_sink ~check_invariants:check ~domains
+      algo trace
   in
   if Obskit.Sink.enabled sink then
     Obskit.Sink.span sink
@@ -96,13 +97,17 @@ let aggregate ~workload ~algo ~seeds per_seed =
 
 let run_cell ?pool ?(config = Cbnet.Config.default)
     ?(scale = Workloads.Catalog.Default) ?(seeds = 5) ?(lambda = 0.05)
-    ?(base_seed = 1) ?(sink = Obskit.Sink.null) ?(check_invariants = false)
-    ?(domains = 1) ~workload ~algo () =
+    ?(base_seed = 1) ?(sink = Obskit.Sink.null) ?profile ?prof_sink
+    ?(check_invariants = false) ?(domains = 1) ~workload ~algo () =
   if seeds < 1 then invalid_arg "Experiment.run_cell: seeds must be >= 1";
+  (* Profile.t is a plain mutable record with no synchronization, so a
+     profiled cell must run its seeds in the caller, not on a pool. *)
+  if profile <> None && pool <> None then
+    invalid_arg "Experiment.run_cell: ?profile cannot be combined with ?pool";
   let cell () =
     let per_seed =
       collect ?pool seeds
-        (run_seed ~sink ~config ~scale ~lambda ~base_seed
+        (run_seed ?profile ?prof_sink ~sink ~config ~scale ~lambda ~base_seed
            ~check:check_invariants ~domains ~workload ~algo)
     in
     aggregate ~workload ~algo ~seeds per_seed

@@ -33,6 +33,8 @@ val run_cell :
   ?lambda:float ->
   ?base_seed:int ->
   ?sink:Obskit.Sink.t ->
+  ?profile:Profkit.Profile.t ->
+  ?prof_sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
   ?domains:int ->
   workload:string ->
@@ -57,7 +59,14 @@ val run_cell :
     (see {!Algo.run}); orthogonal to [?pool], which parallelizes
     across seeds.  Combining both oversubscribes the machine — prefer
     seed-level [?pool] for matrices and [domains] for single large
-    runs.  Measurements are bit-identical at every domain count. *)
+    runs.  Measurements are bit-identical at every domain count.
+
+    [profile] / [prof_sink] turn on phase-level self-profiling of the
+    CBN executions ({!Algo.run}, {!Profkit.Profile}); every seed's
+    phases and counters accumulate into the one caller-owned profile.
+    {!Profkit.Profile.t} is unsynchronized, so [?profile] cannot be
+    combined with [?pool] — the call raises [Invalid_argument].
+    Profiled measurements are bit-identical to unprofiled ones. *)
 
 val run_matrix :
   ?pool:Simkit.Pool.t ->

@@ -189,7 +189,7 @@ let timeline_csv points path =
 (* Chrome trace-event JSON (the format chrome://tracing and Perfetto
    load).  Timestamps are microseconds relative to the earliest event;
    each OCaml domain becomes one "thread" track. *)
-let chrome_trace events path =
+let chrome_trace ?(dropped = 0) events path =
   let module E = Obskit.Event in
   let t0 =
     List.fold_left
@@ -197,6 +197,11 @@ let chrome_trace events path =
       Float.infinity events
   in
   let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let t_last =
+    List.fold_left
+      (fun acc (e : E.t) -> Float.max acc (e.E.ts_us -. t0))
+      0.0 events
+  in
   let b = Buffer.create 65536 in
   let sp fmt = Printf.sprintf fmt in
   let instant ~ts ~tid name args =
@@ -276,6 +281,13 @@ let chrome_trace events path =
           instant ~ts ~tid:member "plan_wave"
             (sp "\"round\":%d,\"member\":%d,\"planned\":%d" round member
                planned);
+        ]
+    (* One counter track per phase so Perfetto renders the per-round
+       phase times as stacked lanes. *)
+    | E.Phase_time { round; phase; elapsed_us } ->
+        [
+          counter ~ts ~tid (sp "phase_us:%s" phase)
+            (sp "\"us\":%s,\"round\":%d" (json_float elapsed_us) round);
         ]
     | E.Pool_task { task; phase = E.Done; elapsed_us; _ } ->
         [
@@ -358,7 +370,18 @@ let chrome_trace events path =
             v v)
         fault_nodes
   in
-  let entries = meta @ List.concat_map of_event events in
+  (* A ring sink that overflowed truncated the trace: surface the drop
+     count as a trailing instant so a viewer (or grep) can tell a
+     complete trace from a clipped one. *)
+  let trailer =
+    if dropped <= 0 then []
+    else
+      [
+        instant ~ts:t_last ~tid:0 "events_dropped"
+          (sp "\"dropped\":%d" dropped);
+      ]
+  in
+  let entries = meta @ List.concat_map of_event events @ trailer in
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   List.iteri
     (fun i s ->
@@ -368,39 +391,126 @@ let chrome_trace events path =
   Buffer.add_string b "\n]}\n";
   with_out path (fun oc -> Buffer.output_buffer oc b)
 
+(* Split [name{label="x"}] into the base name and the label set
+   (braces included; "" when unlabeled) so histogram series can splice
+   an [le] label into an existing set. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | Some i -> (String.sub name 0 i, String.sub name i (String.length name - i))
+  | None -> (name, "")
+
+let with_le labels le =
+  if labels = "" then Printf.sprintf "{le=\"%s\"}" le
+  else
+    Printf.sprintf "%s,le=\"%s\"}"
+      (String.sub labels 0 (String.length labels - 1))
+      le
+
 (* Prometheus text exposition (version 0.0.4).  Registry counters keep
    their label sets verbatim in the key ([name{kind="pause"}]), so the
    exporter only has to group adjacent keys by base name for the
-   [# TYPE] lines; streams become summaries with exact quantiles. *)
-let prometheus reg path =
+   [# TYPE] lines.  Streams are {!Profkit.Histogram}s and expose as
+   proper histograms — cumulative [_bucket{le=...}] series over the
+   non-empty log buckets plus the [+Inf] bucket, [_sum] and [_count] —
+   so a scraper can aggregate and re-quantile them, which the previous
+   exact-quantile summaries did not allow. *)
+let prometheus ?(events_dropped = 0) reg path =
   with_out path (fun oc ->
-      let base name =
-        match String.index_opt name '{' with
-        | Some i -> String.sub name 0 i
-        | None -> name
-      in
       let last = ref "" in
       List.iter
         (fun (name, v) ->
-          let bn = base name in
+          let bn, _ = split_labels name in
           if bn <> !last then begin
             Printf.fprintf oc "# TYPE %s counter\n" bn;
             last := bn
           end;
           Printf.fprintf oc "%s %d\n" name v)
         (Simkit.Metrics.counters reg);
+      Printf.fprintf oc "# TYPE cbnet_events_dropped_total counter\n";
+      Printf.fprintf oc "cbnet_events_dropped_total %d\n" events_dropped;
+      let last = ref "" in
       List.iter
-        (fun (name, (s : Simkit.Stats.summary)) ->
-          let data = Simkit.Metrics.samples reg name in
-          Printf.fprintf oc "# TYPE %s summary\n" name;
+        (fun (name, h) ->
+          let bn, labels = split_labels name in
+          if bn <> !last then begin
+            Printf.fprintf oc "# TYPE %s histogram\n" bn;
+            last := bn
+          end;
           List.iter
-            (fun (q, p) ->
-              Printf.fprintf oc "%s{quantile=\"%s\"} %.6f\n" name q
-                (Simkit.Stats.percentile data p))
-            [ ("0.5", 50.0); ("0.95", 95.0); ("0.99", 99.0) ];
-          Printf.fprintf oc "%s_sum %.6f\n" name s.Simkit.Stats.total;
-          Printf.fprintf oc "%s_count %d\n" name s.Simkit.Stats.n)
-        (Simkit.Metrics.streams reg))
+            (fun (le, cum) ->
+              Printf.fprintf oc "%s_bucket%s %d\n" bn
+                (with_le labels (Printf.sprintf "%.9g" le))
+                cum)
+            (Profkit.Histogram.buckets h);
+          Printf.fprintf oc "%s_bucket%s %d\n" bn (with_le labels "+Inf")
+            (Profkit.Histogram.count h);
+          Printf.fprintf oc "%s_sum%s %.6f\n" bn labels
+            (Profkit.Histogram.sum h);
+          Printf.fprintf oc "%s_count%s %d\n" bn labels
+            (Profkit.Histogram.count h))
+        (Simkit.Metrics.histograms reg))
+
+(* Phase-attribution profile of one run (Profkit.Profile): per-phase
+   totals with their share of the round wall, per-round phase/wall
+   quantiles, and the speculation counters — the machine-readable twin
+   of the [bench perf --profile] / [cbnet report profile] table, and
+   the input of [compare_bench --profile]. *)
+let profile_json ~commit ~timestamp ~workload ~domains profile path =
+  let module P = Profkit.Profile in
+  let module H = Profkit.Histogram in
+  with_out path (fun oc ->
+      let wall = P.wall_us profile in
+      Printf.fprintf oc
+        "{\n\
+        \  \"commit\": \"%s\",\n\
+        \  \"timestamp\": \"%s\",\n\
+        \  \"workload\": \"%s\",\n\
+        \  \"domains\": %d,\n\
+        \  \"rounds\": %d,\n\
+        \  \"wall_us\": %s,\n"
+        (json_escape commit) (json_escape timestamp) (json_escape workload)
+        domains (P.rounds profile) (json_float wall);
+      output_string oc "  \"phases\": [";
+      List.iteri
+        (fun i phase ->
+          if i > 0 then output_string oc ",";
+          let total = P.total_us profile phase in
+          let share = if wall > 0. then total /. wall else 0. in
+          let h = P.hist profile phase in
+          Printf.fprintf oc
+            "\n    {\"phase\": \"%s\", \"total_us\": %s, \"share\": %s, \
+             \"round_p50_us\": %s, \"round_p95_us\": %s, \"round_p99_us\": \
+             %s, \"round_max_us\": %s}"
+            (json_escape (P.phase_name phase))
+            (json_float total) (json_float share)
+            (json_float (H.p50 h))
+            (json_float (H.p95 h))
+            (json_float (H.p99 h))
+            (json_float (H.max h)))
+        P.phases;
+      output_string oc "\n  ],\n";
+      let rh = P.wall_hist profile in
+      Printf.fprintf oc
+        "  \"round_us\": {\"p50\": %s, \"p95\": %s, \"p99\": %s, \"max\": \
+         %s},\n"
+        (json_float (H.p50 rh))
+        (json_float (H.p95 rh))
+        (json_float (H.p99 rh))
+        (json_float (H.max rh));
+      output_string oc "  \"counters\": {";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then output_string oc ", ";
+          Printf.fprintf oc "\"%s\": %d" (json_escape k) v)
+        (P.counters profile);
+      output_string oc "},\n";
+      Printf.fprintf oc
+        "  \"speculation\": {\"stamp_hit_rate\": %s, \"avg_wave_imbalance\": \
+         %s, \"max_wave_imbalance\": %s}\n"
+        (json_float (P.stamp_hit_rate profile))
+        (json_float (P.avg_imbalance profile))
+        (json_float (P.max_imbalance profile));
+      output_string oc "}\n")
 
 let latencies_csv latencies path =
   with_out path (fun oc ->

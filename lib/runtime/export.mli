@@ -77,16 +77,49 @@ val latencies_csv : float array -> string -> unit
 (** One latency per row, plus a summary block as trailing comment
     lines: n, mean, std, min, max, p50, p95, p99. *)
 
-val chrome_trace : Obskit.Event.t list -> string -> unit
+val chrome_trace : ?dropped:int -> Obskit.Event.t list -> string -> unit
 (** Write telemetry events (oldest first) as Chrome trace-event JSON,
     loadable in Perfetto ({:https://ui.perfetto.dev}) or
     [chrome://tracing].  Spans become B/E slices and pool tasks
-    complete ("X") slices on one track per domain; rounds, Φ and queue
-    depth become counter series; steps, conflicts, rotations and
-    deliveries become instant events. *)
+    complete ("X") slices on one track per domain; rounds, Φ, queue
+    depth and per-round phase times become counter series (one
+    [phase_us:<phase>] lane per profiling phase); steps, conflicts,
+    rotations and deliveries become instant events.
 
-val prometheus : Simkit.Metrics.t -> string -> unit
+    [dropped] (default 0): events the capturing ring sink discarded.
+    When positive, a trailing [events_dropped] instant is appended at
+    the last event's timestamp, so a truncated trace is detectable
+    instead of silent. *)
+
+val prometheus : ?events_dropped:int -> Simkit.Metrics.t -> string -> unit
 (** Write a metrics registry in the Prometheus text exposition format:
     counters (with any labels embedded in the registry key) and one
-    summary per observation stream with exact 0.5/0.95/0.99 quantiles
-    plus [_sum] and [_count]. *)
+    {e histogram} per observation stream — cumulative
+    [_bucket{le="..."}] series over the stream's non-empty log buckets
+    plus the [+Inf] bucket, and exact [_sum]/[_count] — so scrapers
+    can aggregate across runs and recompute quantiles
+    ([histogram_quantile]), which the former exact-quantile summaries
+    did not allow.  Bucket edges come from {!Profkit.Histogram}
+    (bounded ~3.1% relative error).
+
+    [events_dropped] (default 0) is exported as the
+    [cbnet_events_dropped_total] counter: the number of telemetry
+    events the capturing ring sink discarded. *)
+
+val profile_json :
+  commit:string ->
+  timestamp:string ->
+  workload:string ->
+  domains:int ->
+  Profkit.Profile.t ->
+  string ->
+  unit
+(** Machine-readable phase-attribution export ([bench-profile.json],
+    [BENCH_PROFILE_BASELINE.json]): per-phase [total_us] with its
+    [share] of the summed round wall time and per-round p50/p95/p99/max
+    µs, the per-round wall quantiles, every speculation/work counter,
+    and derived speculation rates ([stamp_hit_rate],
+    [avg_wave_imbalance], [max_wave_imbalance]).  The phase shares sum
+    to 1 by construction (exclusive contiguous attribution — see
+    {!Profkit.Profile}).  [bench/compare_bench.exe --profile] diffs two
+    of these.  Hand-rolled writer — no JSON dependency. *)

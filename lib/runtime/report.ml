@@ -55,6 +55,46 @@ let scatter ~width ~height ~xlabel ~ylabel points fmt =
     grid;
   Format.fprintf fmt "  +%s> %s@." (String.make width '-') xlabel
 
+(* Phase-attribution rendering of a Profkit profile — the table behind
+   [bench perf --profile] and [cbnet report profile].  Shares the
+   plain [table] renderer so the output diffs cleanly in CI logs. *)
+let profile ?(title = "CBN phase attribution") p fmt =
+  let open Profkit in
+  let wall = Profile.wall_us p in
+  let rows =
+    List.map
+      (fun phase ->
+        let h = Profile.hist p phase in
+        let total = Profile.total_us p phase in
+        [
+          Profile.phase_name phase;
+          Printf.sprintf "%.1f" (total /. 1000.0);
+          Printf.sprintf "%.1f%%"
+            (if wall > 0.0 then 100.0 *. total /. wall else 0.0);
+          Printf.sprintf "%.1f" (Histogram.p50 h);
+          Printf.sprintf "%.1f" (Histogram.p95 h);
+          Printf.sprintf "%.1f" (Histogram.p99 h);
+          Printf.sprintf "%.1f" (Histogram.max h);
+        ])
+      Profile.phases
+  in
+  table ~title
+    ~headers:
+      [ "phase"; "total_ms"; "share"; "p50_us"; "p95_us"; "p99_us"; "max_us" ]
+    rows fmt;
+  let wh = Profile.wall_hist p in
+  Format.fprintf fmt
+    "rounds=%d round wall: total=%.1fms p50=%.1fus p95=%.1fus p99=%.1fus \
+     max=%.1fus@."
+    (Profile.rounds p) (wall /. 1000.0) (Histogram.p50 wh) (Histogram.p95 wh)
+    (Histogram.p99 wh) (Histogram.max wh);
+  table ~title:"speculation / work counters" ~headers:[ "counter"; "value" ]
+    (List.map (fun (name, v) -> [ name; string_of_int v ]) (Profile.counters p))
+    fmt;
+  Format.fprintf fmt
+    "speculation: stamp_hit_rate=%.3f wave_imbalance avg=%.2f max=%.2f@."
+    (Profile.stamp_hit_rate p) (Profile.avg_imbalance p) (Profile.max_imbalance p)
+
 let float_cell v =
   if Float.is_integer v && Float.abs v < 1e15 then
     let i = int_of_float v in

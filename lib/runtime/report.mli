@@ -27,3 +27,10 @@ val scatter :
 val float_cell : float -> string
 (** Compact numeric formatting: integers as such, small floats with 3
     decimals, large values with thousands grouping. *)
+
+val profile : ?title:string -> Profkit.Profile.t -> Format.formatter -> unit
+(** Render a {!Profkit.Profile} as the human-readable attribution
+    report: the per-phase table (total ms, share of round wall,
+    per-round p50/p95/p99/max µs), the round-wall summary line, the
+    speculation/work counter table and the derived speculation rates.
+    Behind [bench perf --profile] and [cbnet report profile]. *)

@@ -35,6 +35,8 @@ let recorder reg (ev : E.t) =
   | E.Plan_wave { planned; _ } ->
       M.incr reg "cbnet_plan_waves_total";
       M.observe reg "cbnet_plan_wave_planned" (float_of_int planned)
+  | E.Phase_time { phase; elapsed_us; _ } ->
+      M.observe reg (Printf.sprintf "cbnet_phase_us{phase=%S}" phase) elapsed_us
   | E.Span { phase = E.End; _ } -> M.incr reg "cbnet_spans_total"
   | E.Span { phase = E.Begin; _ } -> ()
   | E.Fault_injected { kind; _ } ->

@@ -1,11 +1,17 @@
+(* Observation streams are log-bucketed histograms (Profkit.Histogram),
+   not sample-retaining accumulators: telemetry recorders observe once
+   per event on paths that emit millions of events, so the registry
+   must absorb observations at O(1) time and fixed memory.  Quantiles
+   in summaries and exports are therefore bucket-reconstructed, with
+   relative error bounded by the histogram's sub-bucket resolution
+   (~3.1%); count/mean/std/min/max/total stay exact. *)
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
-  streams : (string, Stats.t) Hashtbl.t;
-  raw : (string, float list ref) Hashtbl.t;
+  streams : (string, Profkit.Histogram.t) Hashtbl.t;
 }
 
-let create () =
-  { counters = Hashtbl.create 16; streams = Hashtbl.create 16; raw = Hashtbl.create 16 }
+let create () = { counters = Hashtbl.create 16; streams = Hashtbl.create 16 }
 
 let counter_ref t name =
   match Hashtbl.find_opt t.counters name with
@@ -18,53 +24,60 @@ let counter_ref t name =
 let incr t name = Stdlib.incr (counter_ref t name)
 let add t name k = counter_ref t name := !(counter_ref t name) + k
 
-let observe t name x =
-  let s =
-    match Hashtbl.find_opt t.streams name with
-    | Some s -> s
-    | None ->
-        let s = Stats.create () in
-        Hashtbl.add t.streams name s;
-        s
-  in
-  Stats.add s x;
-  let r =
-    match Hashtbl.find_opt t.raw name with
-    | Some r -> r
-    | None ->
-        let r = ref [] in
-        Hashtbl.add t.raw name r;
-        r
-  in
-  r := x :: !r
+let histogram_ref t name =
+  match Hashtbl.find_opt t.streams name with
+  | Some h -> h
+  | None ->
+      let h = Profkit.Histogram.create () in
+      Hashtbl.add t.streams name h;
+      h
+
+let observe t name x = Profkit.Histogram.record (histogram_ref t name) x
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-let stream t name = Option.map Stats.summary (Hashtbl.find_opt t.streams name)
+let summary_of_histogram h =
+  {
+    Stats.n = Profkit.Histogram.count h;
+    mean = Profkit.Histogram.mean h;
+    std = Profkit.Histogram.std h;
+    min = Profkit.Histogram.min h;
+    max = Profkit.Histogram.max h;
+    total = Profkit.Histogram.sum h;
+    p50 = Profkit.Histogram.p50 h;
+    p95 = Profkit.Histogram.p95 h;
+    p99 = Profkit.Histogram.p99 h;
+  }
 
-let samples t name =
-  match Hashtbl.find_opt t.raw name with
-  | Some r -> Array.of_list (List.rev !r)
-  | None -> [||]
+let stream t name =
+  Option.map summary_of_histogram (Hashtbl.find_opt t.streams name)
+
+let histogram t name = Hashtbl.find_opt t.streams name
 
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counters t = sorted_bindings t.counters ( ! )
-let streams t = sorted_bindings t.streams Stats.summary
+let streams t = sorted_bindings t.streams summary_of_histogram
+let histograms t = sorted_bindings t.streams Fun.id
 
 let reset t =
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.streams;
-  Hashtbl.reset t.raw
+  Hashtbl.reset t.streams
 
 let merge_into ~dst src =
   Hashtbl.iter (fun name r -> add dst name !r) src.counters;
   Hashtbl.iter
-    (fun name r -> List.iter (fun x -> observe dst name x) (List.rev !r))
-    src.raw
+    (fun name h ->
+      match Hashtbl.find_opt dst.streams name with
+      | Some d -> Profkit.Histogram.merge_into ~dst:d h
+      | None ->
+          let d = Profkit.Histogram.create ~scale:(Profkit.Histogram.scale h) () in
+          Profkit.Histogram.merge_into ~dst:d h;
+          Hashtbl.add dst.streams name d)
+    src.streams
 
 let pp fmt t =
   List.iter (fun (k, v) -> Format.fprintf fmt "%s = %d@." k v) (counters t);

@@ -1,6 +1,13 @@
 (** Named metric registry used by simulations to report counters and
     gauges without threading a record of every possible measurement
-    through all call sites. *)
+    through all call sites.
+
+    Observation streams are backed by {!Profkit.Histogram}s — O(1)
+    allocation-free recording at a fixed memory footprint — so the
+    registry can sit behind a telemetry sink on paths that emit
+    millions of events.  Summary percentiles are bucket-reconstructed
+    (bounded relative error, ~3.1%); the other summary fields are
+    exact. *)
 
 type t
 
@@ -13,17 +20,18 @@ val add : t -> string -> int -> unit
 (** Add [k] to a counter. *)
 
 val observe : t -> string -> float -> unit
-(** Feed a value into the named {!Stats.t} stream. *)
+(** Feed a value into the named histogram stream. *)
 
 val counter : t -> string -> int
 (** Current counter value (0 if never touched). *)
 
 val stream : t -> string -> Stats.summary option
-(** Summary of an observation stream, if it exists. *)
+(** Summary of an observation stream, if it exists.  Percentiles are
+    histogram-reconstructed, not exact order statistics. *)
 
-val samples : t -> string -> float array
-(** Raw observations of a stream in arrival order ([[||]] if the
-    stream does not exist) — the input for quantile exports. *)
+val histogram : t -> string -> Profkit.Histogram.t option
+(** The live histogram behind a stream — the input for
+    bucket-exposition exports. *)
 
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
@@ -31,8 +39,12 @@ val counters : t -> (string * int) list
 val streams : t -> (string * Stats.summary) list
 (** All streams, sorted by name. *)
 
+val histograms : t -> (string * Profkit.Histogram.t) list
+(** All stream histograms, sorted by name. *)
+
 val reset : t -> unit
 val merge_into : dst:t -> t -> unit
-(** Add all counters and observations of the source into [dst]. *)
+(** Add all counters and merge all stream histograms of the source
+    into [dst] (bucket-wise, exact). *)
 
 val pp : Format.formatter -> t -> unit

@@ -203,6 +203,90 @@ let test_parallel ~workload ~seed ~domains () =
     lb ld;
   check_events (ctx ^ " empty plan") ed eb
 
+(* Profiling is purely observational: a profiled traced run must stay
+   bit-identical to the oracle at every domain count (stats, trees,
+   latencies and the *run-sink* payload stream — Phase_time events go
+   to the separate prof sink only), and the profile's own counters must
+   obey the executor's accounting identities. *)
+let test_parallel_profiled ~workload ~seed ~domains () =
+  let module P = Profkit.Profile in
+  let ctx = Printf.sprintf "profiled d=%d %s/seed %d" domains workload seed in
+  let n, trace, sb, lb, eb, tb = oracle ~workload ~seed in
+  let profile = P.create () in
+  let ta = Build.balanced n in
+  let (sa, la), ea =
+    capture_payloads (fun sink ->
+        Conc.run_with_latencies ~sink ~profile ~domains ta trace)
+  in
+  check_stats ctx sa sb;
+  check_trees ctx ta tb;
+  Array.sort compare la;
+  Alcotest.(check (array (float 0.0))) (ctx ^ ": sorted latencies") lb la;
+  check_events ctx ea eb;
+  (* Accounting identities against the run's own statistics. *)
+  Alcotest.(check int) (ctx ^ ": profiled rounds") sa.Stats.rounds
+    (P.rounds profile);
+  Alcotest.(check int)
+    (ctx ^ ": conflicts = pauses + bypasses")
+    (sa.Stats.pauses + sa.Stats.bypasses)
+    (P.conflicts profile);
+  (* Every validated slot either replayed its plan or was a delivery;
+     every invalidated one fell back to a serial re-probe. *)
+  Alcotest.(check int)
+    (ctx ^ ": stamp hits split into replayed + delivered")
+    (P.stamp_hits profile)
+    (P.replayed profile + P.deliver_slots profile);
+  Alcotest.(check int)
+    (ctx ^ ": stamp misses all fell back")
+    (P.stamp_misses profile) (P.fallback_slots profile);
+  if domains = 1 then
+    Alcotest.(check int) (ctx ^ ": no waves at domains=1") 0 (P.waves profile)
+  else
+    Alcotest.(check int)
+      (ctx ^ ": every wave spans the whole team")
+      (P.waves profile * domains)
+      (P.wave_members profile);
+  (* Exclusive attribution: phase totals telescope to the wall. *)
+  let covered =
+    List.fold_left (fun acc ph -> acc +. P.total_us profile ph) 0.0 P.phases
+  in
+  let wall = P.wall_us profile in
+  Alcotest.(check bool) (ctx ^ ": phases cover the wall") true
+    (Float.abs (covered -. wall) <= 1e-6 *. Float.max 1.0 wall)
+
+(* Phase_time telemetry goes to the dedicated prof sink: well-formed
+   events whose per-round times sum back to the profile's wall. *)
+let test_profile_sink_events () =
+  let module P = Profkit.Profile in
+  let n, trace = trace_of ~workload:"projector" ~seed:1 in
+  let profile = P.create () in
+  let events = ref [] in
+  let prof_sink =
+    Obskit.Sink.stream (fun (e : Obskit.Event.t) ->
+        events := e.Obskit.Event.payload :: !events)
+  in
+  let _ = Conc.run ~domains:2 ~profile ~prof_sink (Build.balanced n) trace in
+  let evs = List.rev !events in
+  Alcotest.(check bool) "phase_time events emitted" true
+    (List.length evs > 0);
+  let names = List.map P.phase_name P.phases in
+  let total =
+    List.fold_left
+      (fun acc p ->
+        match p with
+        | Obskit.Event.Phase_time { round; phase; elapsed_us } ->
+            Alcotest.(check bool) "round non-negative" true (round >= 0);
+            Alcotest.(check bool) "elapsed positive" true (elapsed_us > 0.0);
+            Alcotest.(check bool) "phase name known" true
+              (List.mem phase names);
+            acc +. elapsed_us
+        | p -> Alcotest.failf "unexpected prof event %s" (Obskit.Event.name p))
+      0.0 evs
+  in
+  let wall = P.wall_us profile in
+  Alcotest.(check bool) "phase events sum to the wall" true
+    (Float.abs (total -. wall) <= 1e-3 *. Float.max 1.0 wall)
+
 (* The wave must actually engage (the ready set crosses the parallel
    threshold) and report itself: every team-sink event is a Plan_wave
    with a member id below the domain count, covering member 0. *)
@@ -326,6 +410,21 @@ let parallel_cases =
         seeds)
     parallel_workloads
 
+let profiled_cases =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun seed ->
+          List.map
+            (fun domains ->
+              Alcotest.test_case
+                (Printf.sprintf "%s seed %d domains %d" workload seed domains)
+                `Quick
+                (test_parallel_profiled ~workload ~seed ~domains))
+            domain_counts)
+        [ 1; 2 ])
+    [ "projector"; "skewed" ]
+
 let () =
   Alcotest.run "equivalence"
     [
@@ -333,6 +432,12 @@ let () =
       ("executor pairs untraced", untraced_cases);
       ("executor pairs empty fault plan", empty_plan_cases);
       ("parallel executor", parallel_cases);
+      ( "profiled executor",
+        profiled_cases
+        @ [
+            Alcotest.test_case "prof sink phase events" `Quick
+              test_profile_sink_events;
+          ] );
       ( "parallel machinery",
         [
           Alcotest.test_case "wave telemetry" `Quick

@@ -114,6 +114,84 @@ let test_event_json_shape () =
         true (contains json needle))
     [ "\"type\":\"step_planned\""; "\"round\":2"; "\"rotate\":true"; "\"domain\":3" ]
 
+(* --- JSON string escaping ---------------------------------------- *)
+
+(* Decode every string value of [field] back out of flat JSON text,
+   undoing the escaping the exporters promise (backslash-escaped
+   quote/backslash/n/r/t and backslash-u hex for other control
+   bytes) — a genuine round trip, not a substring check. *)
+let extract_string_fields json field =
+  let marker = Printf.sprintf "\"%s\":" field in
+  let m = String.length marker and j = String.length json in
+  let decode_from i =
+    let b = Buffer.create 16 in
+    let rec go i =
+      match json.[i] with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          match json.[i + 1] with
+          | 'n' ->
+              Buffer.add_char b '\n';
+              go (i + 2)
+          | 'r' ->
+              Buffer.add_char b '\r';
+              go (i + 2)
+          | 't' ->
+              Buffer.add_char b '\t';
+              go (i + 2)
+          | 'b' ->
+              Buffer.add_char b '\b';
+              go (i + 2)
+          | 'u' ->
+              Buffer.add_char b
+                (Char.chr (int_of_string ("0x" ^ String.sub json (i + 2) 4)));
+              go (i + 6)
+          | c ->
+              Buffer.add_char b c;
+              go (i + 2))
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+    in
+    go i
+  in
+  let rec scan i acc =
+    if i + m > j then List.rev acc
+    else if String.sub json i m = marker then begin
+      (* Skip optional whitespace between ':' and the opening quote. *)
+      let v = ref (i + m) in
+      while json.[!v] = ' ' do
+        incr v
+      done;
+      if json.[!v] = '"' then scan (!v + 1) (decode_from (!v + 1) :: acc)
+      else scan (i + 1) acc
+    end
+    else scan (i + 1) acc
+  in
+  scan 0 []
+
+let no_raw_control s =
+  String.for_all (fun c -> Char.code c >= 0x20 || c = '\n') s
+
+let hostile = "he said \"hi\" c:\\tmp\nline2\ttab\rcr \x01\x1f end"
+
+let test_event_json_escaping_roundtrip () =
+  let json = E.to_json (sample_event (E.Span { name = hostile; phase = E.Begin })) in
+  Alcotest.(check bool) "no raw control bytes in JSON" true
+    (no_raw_control json);
+  Alcotest.(check (list string)) "span name survives the round trip"
+    [ hostile ]
+    (extract_string_fields json "name");
+  let json =
+    E.to_json
+      (sample_event
+         (E.Step_planned
+            { round = 1; msg = 2; kind = hostile; rotate = false; delta_phi = 0.0 }))
+  in
+  Alcotest.(check (list string)) "step kind survives the round trip"
+    [ hostile ]
+    (extract_string_fields json "kind")
+
 (* --- metrics registry -------------------------------------------- *)
 
 let test_metrics_counter_roundtrip () =
@@ -133,11 +211,17 @@ let test_metrics_stream_roundtrip () =
   | Some s ->
       Alcotest.(check int) "n" 4 s.Stats.n;
       Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
-      Alcotest.(check (float 1e-9)) "total" 10.0 s.Stats.total);
-  Alcotest.(check (array (float 1e-9))) "samples in arrival order"
-    [| 1.0; 2.0; 3.0; 4.0 |] (Metrics.samples m "s");
-  Alcotest.(check (array (float 1e-9))) "absent samples empty" [||]
-    (Metrics.samples m "nope")
+      Alcotest.(check (float 1e-9)) "total" 10.0 s.Stats.total;
+      (* Percentiles are histogram-reconstructed: within the bucket
+         relative-error bound, not exact. *)
+      Alcotest.(check (float 0.05)) "p50 within bucket error" 2.0 s.Stats.p50;
+      Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+      Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max);
+  (match Metrics.histogram m "s" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h -> Alcotest.(check int) "histogram count" 4 (Profkit.Histogram.count h));
+  Alcotest.(check bool) "absent histogram is None" true
+    (Metrics.histogram m "nope" = None)
 
 let test_metrics_merge_and_reset () =
   let a = Metrics.create () and b = Metrics.create () in
@@ -295,8 +379,11 @@ let test_telemetry_recorder_feeds_registry () =
     (Metrics.counter reg "cbnet_conflicts_total{kind=\"bypass\"}");
   Alcotest.(check int) "rotations use count" 2
     (Metrics.counter reg "cbnet_rotations_total");
-  Alcotest.(check (array (float 1e-9))) "latency stream" [| 5.0 |]
-    (Metrics.samples reg "cbnet_delivery_latency_rounds")
+  (match Metrics.stream reg "cbnet_delivery_latency_rounds" with
+  | None -> Alcotest.fail "latency stream missing"
+  | Some s ->
+      Alcotest.(check int) "latency stream n" 1 s.Stats.n;
+      Alcotest.(check (float 1e-9)) "latency stream total" 5.0 s.Stats.total)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -338,6 +425,78 @@ let test_chrome_trace_export () =
       Alcotest.(check int) "brackets balance" (count '[') (count ']');
       Alcotest.(check bool) "no nan" false (contains body "nan"))
 
+let test_chrome_trace_escaping_and_dropped () =
+  (* A hostile span name must survive the exporter, and a clipped ring
+     must leave the trailing events_dropped instant. *)
+  let ring = Sink.Ring.create ~capacity:100 in
+  let sink = Sink.Ring.sink ring in
+  Sink.emit sink (sample_event (E.Span { name = hostile; phase = E.Begin }));
+  Sink.emit sink (sample_event (E.Span { name = hostile; phase = E.End }));
+  Sink.emit sink (sample_event (E.Phi_sample { round = 0; phi = 1.5 }));
+  let path = Filename.temp_file "obskit_hostile" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Runtime.Export.chrome_trace ~dropped:3 (Sink.Ring.contents ring) path;
+      let body = read_file path in
+      let count c =
+        String.fold_left (fun k ch -> if ch = c then k + 1 else k) 0 body
+      in
+      Alcotest.(check int) "braces balance" (count '{') (count '}');
+      Alcotest.(check bool) "no raw control bytes" true (no_raw_control body);
+      Alcotest.(check bool) "hostile span name round-trips" true
+        (List.mem hostile (extract_string_fields body "name"));
+      Alcotest.(check bool) "dropped trailer present" true
+        (contains body "\"events_dropped\"");
+      Alcotest.(check bool) "dropped count recorded" true
+        (contains body "\"dropped\":3"))
+
+let test_profile_json_export () =
+  let module P = Profkit.Profile in
+  let p = P.create () in
+  P.round_begin p;
+  P.enter p P.Commit;
+  P.round_close p;
+  P.round_commit p;
+  P.stamp_hit p;
+  P.stamp_miss p;
+  P.conflict p;
+  P.wave p ~members:2 ~busiest:3 ~slots:4;
+  let path = Filename.temp_file "obskit_profile" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Runtime.Export.profile_json ~commit:"abc" ~timestamp:"now"
+        ~workload:hostile ~domains:2 p path;
+      let body = read_file path in
+      let count c =
+        String.fold_left (fun k ch -> if ch = c then k + 1 else k) 0 body
+      in
+      Alcotest.(check int) "braces balance" (count '{') (count '}');
+      Alcotest.(check bool) "no raw control bytes" true (no_raw_control body);
+      Alcotest.(check (list string)) "hostile workload round-trips"
+        [ hostile ]
+        (extract_string_fields body "workload");
+      (* One phase entry per profile phase, and the counter/speculation
+         blocks carry the driven values. *)
+      Alcotest.(check int) "one entry per phase"
+        (List.length P.phases)
+        (List.length (extract_string_fields body "phase"));
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "profile json contains %s" needle)
+            true (contains body needle))
+        [
+          "\"rounds\": 1";
+          "\"domains\": 2";
+          "\"stamp_hits\": 1";
+          "\"claim_conflicts\": 1";
+          "\"stamp_hit_rate\": 0.5";
+          "\"avg_wave_imbalance\": 1.5";
+          "\"round_us\":";
+        ])
+
 let test_prometheus_export () =
   let reg = Metrics.create () in
   let sink = Sink.tee [ Runtime.Telemetry.metrics_sink reg ] in
@@ -352,10 +511,14 @@ let test_prometheus_export () =
       let body = read_file path in
       Alcotest.(check bool) "TYPE line for rounds" true
         (contains body "# TYPE cbnet_rounds_total counter");
-      Alcotest.(check bool) "TYPE line for phi summary" true
-        (contains body "# TYPE cbnet_phi summary");
-      Alcotest.(check bool) "quantile sample present" true
-        (contains body "cbnet_phi{quantile=\"0.5\"}");
+      Alcotest.(check bool) "TYPE line for phi histogram" true
+        (contains body "# TYPE cbnet_phi histogram");
+      Alcotest.(check bool) "+Inf bucket present" true
+        (contains body "cbnet_phi_bucket{le=\"+Inf\"}");
+      Alcotest.(check bool) "finite bucket series present" true
+        (contains body "cbnet_phi_bucket{le=\"");
+      Alcotest.(check bool) "dropped counter present" true
+        (contains body "cbnet_events_dropped_total 0");
       Alcotest.(check bool) "rounds counter nonzero" true
         (contains body
            (Printf.sprintf "cbnet_rounds_total %d" stats.Cbnet.Run_stats.rounds));
@@ -375,6 +538,8 @@ let () =
           Alcotest.test_case "tee" `Quick test_tee_fans_out_and_collapses;
           Alcotest.test_case "span nesting" `Quick test_span_emits_pair_even_on_exception;
           Alcotest.test_case "event json" `Quick test_event_json_shape;
+          Alcotest.test_case "event json escaping" `Quick
+            test_event_json_escaping_roundtrip;
         ] );
       ( "metrics",
         [
@@ -397,6 +562,9 @@ let () =
         [
           Alcotest.test_case "recorder" `Quick test_telemetry_recorder_feeds_registry;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace_export;
+          Alcotest.test_case "chrome trace escaping and dropped" `Quick
+            test_chrome_trace_escaping_and_dropped;
+          Alcotest.test_case "profile json" `Quick test_profile_json_export;
           Alcotest.test_case "prometheus" `Quick test_prometheus_export;
         ] );
     ]
