@@ -30,6 +30,13 @@
    1-domain figure — is blocking only when the NEW host has >= 4
    cores.  Everything else prints as "warn" and does not fail CI.
 
+   --forest compares two forest_json artifacts (bench forest-smoke /
+   forest-scaling) the same way: rows match by (workload, n, shards,
+   domains), a rounds/sec drop beyond the threshold is blocking only
+   when both hosts had at least that row's domain count in cores,
+   and there is no speedup floor — shard decomposition changes the
+   algorithm's work, so only like-for-like cells are compared.
+
    The repository deliberately has no JSON dependency; this is a
    minimal recursive-descent parser for the subset bench_json emits
    (objects, arrays, strings with escapes, numbers, booleans, null). *)
@@ -310,6 +317,111 @@ let compare_scaling ~threshold ~min_speedup old_path new_path =
     !failures;
   !failures
 
+(* One forest_json row (Runtime.Export.forest_json). *)
+type frow = {
+  fworkload : string;
+  fn : int;
+  fshards : int;
+  fdomains : int;
+  frps : float option;
+}
+
+let forest_of_file path =
+  let root = read_json path in
+  let host_cores =
+    match num_field root "host_cores" with
+    | Some c -> int_of_float c
+    | None -> raise (Parse_error "no \"host_cores\" field")
+  in
+  match field root "rows" with
+  | Some (List rs) ->
+      let rows =
+        List.filter_map
+          (fun r ->
+            match
+              ( str_field r "workload",
+                num_field r "n",
+                num_field r "shards",
+                num_field r "domains" )
+            with
+            | Some fworkload, Some n, Some k, Some d ->
+                Some
+                  {
+                    fworkload;
+                    fn = int_of_float n;
+                    fshards = int_of_float k;
+                    fdomains = int_of_float d;
+                    frps = num_field r "rounds_per_sec";
+                  }
+            | _ -> None)
+          rs
+      in
+      (host_cores, rows)
+  | _ -> raise (Parse_error "no \"rows\" array")
+
+(* The --forest gate: per-row regressions on matching
+   (workload, n, shards, domains) cells, blocking only where both
+   hosts' core counts cover the row's domain count.  Returns the
+   failure count. *)
+let compare_forest ~threshold old_path new_path =
+  let old_cores, old_rows = forest_of_file old_path in
+  let new_cores, new_rows = forest_of_file new_path in
+  Printf.printf "forest: baseline host_cores=%d, current host_cores=%d\n"
+    old_cores new_cores;
+  let failures = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (o : frow) ->
+      match
+        List.find_opt
+          (fun (r : frow) ->
+            r.fworkload = o.fworkload && r.fn = o.fn && r.fshards = o.fshards
+            && r.fdomains = o.fdomains)
+          new_rows
+      with
+      | None ->
+          Printf.printf "SKIP  %-10s n=%-8d shards=%-3d domains=%d only in %s\n"
+            o.fworkload o.fn o.fshards o.fdomains old_path
+      | Some nw -> (
+          match (o.frps, nw.frps) with
+          | Some orps, Some nrps when orps > 0.0 ->
+              incr compared;
+              let change = (nrps -. orps) /. orps *. 100.0 in
+              let meaningful =
+                old_cores >= o.fdomains && new_cores >= o.fdomains
+              in
+              let bad = change < -.threshold && meaningful in
+              if bad then incr failures;
+              Printf.printf
+                "%s  %-10s n=%-8d shards=%-3d domains=%d %12.0f -> %12.0f  \
+                 %+6.1f%%%s\n"
+                (if bad then "FAIL"
+                 else if change < -.threshold then "warn"
+                 else "ok  ")
+                o.fworkload o.fn o.fshards o.fdomains orps nrps change
+                (if meaningful then ""
+                 else " (advisory: fewer cores than domains)")
+          | _ ->
+              Printf.printf
+                "SKIP  %-10s n=%-8d shards=%-3d domains=%d rounds_per_sec \
+                 missing\n"
+                o.fworkload o.fn o.fshards o.fdomains))
+    old_rows;
+  List.iter
+    (fun (r : frow) ->
+      if
+        not
+          (List.exists
+             (fun (o : frow) ->
+               o.fworkload = r.fworkload && o.fn = r.fn
+               && o.fshards = r.fshards && o.fdomains = r.fdomains)
+             old_rows)
+      then
+        Printf.printf "NEW   %-10s n=%-8d shards=%-3d domains=%d only in %s\n"
+          r.fworkload r.fn r.fshards r.fdomains new_path)
+    new_rows;
+  Printf.printf "compared %d forest rows, %d failure(s)\n" !compared !failures;
+  !failures
+
 (* One profile_json artifact (Runtime.Export.profile_json), reduced
    to what the advisory diff needs. *)
 type prof = {
@@ -388,6 +500,7 @@ let () =
   let threshold = ref 20.0 in
   let min_speedup = ref 1.5 in
   let scaling = ref false in
+  let forest = ref false in
   let profile = ref false in
   let files = ref [] in
   let positive_float flag v =
@@ -408,6 +521,9 @@ let () =
     | "--scaling" :: rest ->
         scaling := true;
         parse_args rest
+    | "--forest" :: rest ->
+        forest := true;
+        parse_args rest
     | "--profile" :: rest ->
         profile := true;
         parse_args rest
@@ -421,6 +537,17 @@ let () =
       try
         compare_profile old_path new_path;
         exit 0
+      with
+      | Parse_error msg ->
+          Printf.eprintf "compare_bench: parse error: %s\n" msg;
+          exit 2
+      | Sys_error msg ->
+          Printf.eprintf "compare_bench: %s\n" msg;
+          exit 2)
+  | [ old_path; new_path ] when !forest -> (
+      try
+        let failures = compare_forest ~threshold:!threshold old_path new_path in
+        exit (if failures > 0 then 1 else 0)
       with
       | Parse_error msg ->
           Printf.eprintf "compare_bench: parse error: %s\n" msg;
@@ -500,5 +627,7 @@ let () =
         "usage: compare_bench OLD.json NEW.json [--threshold PCT]\n\
         \       compare_bench --scaling BASELINE.json NEW.json [--threshold \
          PCT] [--min-speedup X]\n\
+        \       compare_bench --forest BASELINE.json NEW.json [--threshold \
+         PCT]\n\
         \       compare_bench --profile BASELINE.json NEW.json";
       exit 2

@@ -519,6 +519,145 @@ let perf_scaling ?(reps = 2) (options : Runtime.Figures.options) json fmt =
         path
   | None -> ()
 
+(* The forest sweeps: the sharded overlay (Forest.Overlay) over
+   (workload, n) x shards x domains cells.  Every cell's full
+   Overlay.run — directory, router, per-shard topology builds,
+   execution — is inside the timed region, so the rates are true
+   end-to-end figures.  Correctness is asserted inline, like
+   perf-scaling: the 1-shard configuration must be bit-identical to a
+   dedicated single-tree Cbnet.Concurrent.run on the same trace, and
+   within one shard count every domain fan-out must produce identical
+   statistics.  A divergence exits 1. *)
+
+(* Poisson-stamped scaled trace, mirroring Experiment.trace_for's
+   seeding so forest cells live on the same arrival process as the
+   rest of the harness. *)
+let forest_trace ~workload ~n ~m ~seed =
+  let trace = Workloads.Catalog.scaled workload ~n ~m ~seed in
+  let rng = Simkit.Rng.create (seed lxor 0x5bd1e995) in
+  Workloads.Trace.with_poisson_births rng ~lambda:0.05 trace
+
+(* cells: (workload, n, m, shard counts, domain counts).  Cells with
+   shards = 1 skip domains > 1 — there is nothing to fan out and the
+   run would only repeat the domains = 1 cell. *)
+let forest_cells ~title ~reps ~cells ~seed json fmt =
+  let host_cores = Domain.recommended_domain_count () in
+  Format.fprintf fmt "== %s (min-of-%d walls, host cores=%d) ==@." title reps
+    host_cores;
+  let rows =
+    List.concat_map
+      (fun (workload, n, m, shard_counts, domain_counts) ->
+        let trace = forest_trace ~workload ~n ~m ~seed in
+        let n = trace.Workloads.Trace.n in
+        let runs = Workloads.Trace.to_runs trace in
+        let oracle =
+          Cbnet.Concurrent.run
+            ~check_invariants:!check_invariants_flag
+            (Bstnet.Build.balanced n) runs
+        in
+        List.concat_map
+          (fun shards ->
+            let shard_oracle = ref None in
+            List.filter_map
+              (fun domains ->
+                if shards = 1 && domains > 1 then None
+                else begin
+                  let best = ref infinity and result = ref None in
+                  for _ = 1 to reps do
+                    let t0 = Unix.gettimeofday () in
+                    let r =
+                      Forest.Overlay.run
+                        ~check_invariants:!check_invariants_flag ~domains
+                        ~shards ~n runs
+                    in
+                    let w = Unix.gettimeofday () -. t0 in
+                    if w < !best then best := w;
+                    result := Some r
+                  done;
+                  let r = Option.get !result in
+                  let stats = r.Forest.Overlay.stats in
+                  if shards = 1 && not (stats = oracle) then begin
+                    Printf.eprintf
+                      "forest: FAIL: %s n=%d 1-shard forest diverged from \
+                       the single-tree oracle\n"
+                      workload n;
+                    exit 1
+                  end;
+                  (match !shard_oracle with
+                  | None -> shard_oracle := Some stats
+                  | Some o ->
+                      if not (stats = o) then begin
+                        Printf.eprintf
+                          "forest: FAIL: %s n=%d shards=%d diverged at \
+                           domains=%d\n"
+                          workload n shards domains;
+                        exit 1
+                      end);
+                  let wall = !best in
+                  let rate total =
+                    if wall > 0.0 then float_of_int total /. wall else 0.0
+                  in
+                  Format.fprintf fmt
+                    "%-10s n=%-8d shards=%-3d domains=%d rounds/s=%-11.0f \
+                     msgs/s=%-10.0f cross=%-7d wall=%.3fs@."
+                    workload n shards domains
+                    (rate stats.Cbnet.Run_stats.rounds)
+                    (rate stats.Cbnet.Run_stats.messages)
+                    r.Forest.Overlay.cross wall;
+                  Some
+                    ({
+                       workload;
+                       n;
+                       shards;
+                       domains;
+                       rounds = stats.Cbnet.Run_stats.rounds;
+                       messages = stats.Cbnet.Run_stats.messages;
+                       requests = r.Forest.Overlay.requests;
+                       cross = r.Forest.Overlay.cross;
+                       wall_seconds = wall;
+                     }
+                      : Runtime.Export.forest_row)
+                end)
+              domain_counts)
+          shard_counts)
+      cells
+  in
+  Format.fprintf fmt
+    "1-shard cells bit-identical to the single-tree oracle; stats identical \
+     across domain counts@.";
+  match json with
+  | Some path ->
+      Runtime.Export.forest_json ~commit:(detect_commit ())
+        ~timestamp:(iso8601_now ()) ~host_cores rows path;
+      Format.fprintf fmt "wrote %d forest rows to %s@." (List.length rows) path
+  | None -> ()
+
+(* CI smoke: small n, every routing/merging path exercised (uneven
+   shards, shard counts that do and do not divide n, fan-out wider
+   than the host). *)
+let forest_smoke (options : Runtime.Figures.options) json fmt =
+  forest_cells ~title:"FOREST-SMOKE: sharded overlay" ~reps:2
+    ~cells:
+      [
+        ("pfabric", 512, 4_000, [ 1; 4; 7 ], [ 1; 2 ]);
+        ("skewed", 512, 4_000, [ 1; 4 ], [ 1; 2 ]);
+      ]
+    ~seed:options.Runtime.Figures.base_seed json fmt
+
+(* The acceptance sweep: pfabric-style cells from n = 1k to n = 1M,
+   1-shard oracle checks included at every size. *)
+let forest_scaling (options : Runtime.Figures.options) json fmt =
+  forest_cells ~title:"FOREST-SCALING: sharded overlay, n from 1k to 1M"
+    ~reps:1
+    ~cells:
+      [
+        ("pfabric", 1_000, 10_000, [ 1; 4; 16 ], [ 1; 2 ]);
+        ("pfabric", 10_000, 20_000, [ 1; 16 ], [ 1; 2 ]);
+        ("pfabric", 100_000, 20_000, [ 1; 16 ], [ 1; 4 ]);
+        ("pfabric", 1_000_000, 50_000, [ 1; 16 ], [ 1; 8 ]);
+      ]
+    ~seed:options.Runtime.Figures.base_seed json fmt
+
 (* The fault plans of the chaos sweep: one stressor per fault family
    plus a kitchen-sink mix.  Rates are low enough that every run still
    drains well inside the round budget; the plan text (printed and
@@ -620,7 +759,8 @@ let usage =
    [--json FILE] [--trace FILE] [--metrics FILE] [--profile FILE] \
    [--check-invariants] [--mode ARTIFACT] [ARTIFACT ...]\n\
    artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
-   micro bench-smoke overhead-check perf perf-scaling chaos\n\
+   micro bench-smoke overhead-check perf perf-scaling forest-smoke \
+   forest-scaling chaos\n\
    (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
   \ best combined with --json; --mode NAME is an alias for naming NAME)\n\
    --jobs N parallelizes seed runs over N domains (default: CBNET_JOBS, else\n\
@@ -797,6 +937,8 @@ let () =
             { options with Runtime.Figures.scale = Workloads.Catalog.Default }
           in
           perf_scaling scaling_options !json fmt );
+      ("forest-smoke", fun () -> forest_smoke options !json fmt);
+      ("forest-scaling", fun () -> forest_scaling options !json fmt);
     ]
   in
   (* Validate every artifact name before running anything: CI must
@@ -813,9 +955,10 @@ let () =
     when
       not
         (List.mem "bench-smoke" names || List.mem "perf" names
-        || List.mem "perf-scaling" names || List.mem "chaos" names) ->
-      (* bench-smoke, perf, perf-scaling and chaos write the JSON
-         themselves. *)
+        || List.mem "perf-scaling" names || List.mem "forest-smoke" names
+        || List.mem "forest-scaling" names || List.mem "chaos" names) ->
+      (* bench-smoke, perf, perf-scaling, the forest sweeps and chaos
+         write the JSON themselves. *)
       export_json ~sink options path
   | _ -> ());
   (match names with

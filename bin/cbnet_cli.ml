@@ -57,11 +57,18 @@ let workload_arg =
     & info [ "workload"; "w" ] ~doc:"Workload name.")
 
 let algo_arg =
-  let algos = List.map (fun a -> (Runtime.Algo.name a, a)) Runtime.Algo.all in
+  let algos =
+    List.map
+      (fun a -> (Runtime.Algo.name a, a))
+      (Runtime.Algo.all @ [ Runtime.Algo.CBN_FOREST ])
+  in
   Arg.(
     required
     & opt (some (enum algos)) None
-    & info [ "algo"; "a" ] ~doc:"Algorithm: BT, OPT, SN, DSN, SCBN or CBN.")
+    & info [ "algo"; "a" ]
+        ~doc:
+          "Algorithm: BT, OPT, SN, DSN, SCBN, CBN or CBN-forest (the sharded \
+           overlay; size it with $(b,--shards)).")
 
 let trace_file_arg =
   Arg.(
@@ -96,6 +103,16 @@ let resolve_domains d =
   else if d = 0 then Domain.recommended_domain_count ()
   else d
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards"; "k" ]
+        ~doc:
+          "Shards of the CBN-forest directory (contiguous key ranges; results \
+           are bit-identical at every shards x domains combination).  Other \
+           algorithms ignore it.")
+
 let check_invariants_arg =
   Arg.(
     value & flag
@@ -108,7 +125,7 @@ let check_invariants_arg =
 let run_cmd =
   let doc = "Run one algorithm on one workload and print its statistics." in
   let run workload algo trace_file metrics_file check_invariants domains
-      options =
+      shards options =
     let domains = resolve_domains domains in
     let trace =
       Runtime.Experiment.trace_for ~scale:options.Runtime.Figures.scale
@@ -134,7 +151,9 @@ let run_cmd =
         | Some reg -> [ Runtime.Telemetry.metrics_sink reg ]
         | None -> [])
     in
-    let stats = Runtime.Algo.run ~sink ~check_invariants ~domains algo trace in
+    let stats =
+      Runtime.Algo.run ~sink ~check_invariants ~domains ~shards algo trace
+    in
     Format.printf "%s: %a@." (Runtime.Algo.name algo) Cbnet.Run_stats.pp stats;
     (match (trace_file, ring) with
     | Some path, Some r ->
@@ -158,7 +177,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ algo_arg $ trace_file_arg $ metrics_file_arg
-      $ check_invariants_arg $ domains_arg $ options_term)
+      $ check_invariants_arg $ domains_arg $ shards_arg $ options_term)
 
 let report_profile_cmd =
   let doc =

@@ -1,0 +1,84 @@
+type t = {
+  directory : Directory.t;
+  runs : (int * int * int) array array;
+  intra : int;
+  cross : int;
+  first_births : int array;
+}
+
+let build dir trace =
+  let k = Directory.shards dir in
+  let n = Directory.n dir in
+  let m = Array.length trace in
+  let counts = Array.make k 0 in
+  let intra = ref 0 in
+  let cross = ref 0 in
+  (* Sizing pass: count each shard's legs (and validate) so the fill
+     pass writes into exactly-sized arrays.  Both passes are the
+     per-message dispatch path: integer reads, compares and array
+     writes only. *)
+  (* lint: hot *)
+  let last_birth = ref min_int in
+  for i = 0 to m - 1 do
+    let b, s, d = trace.(i) in
+    if b < !last_birth then
+      invalid_arg "Forest.Router.build: trace not sorted by birth";
+    last_birth := b;
+    if s < 0 || s >= n || d < 0 || d >= n then
+      invalid_arg "Forest.Router.build: endpoint outside the key space";
+    let ss = Directory.shard_of dir s in
+    let ds = Directory.shard_of dir d in
+    if ss = ds then begin
+      counts.(ss) <- counts.(ss) + 1;
+      incr intra
+    end
+    else begin
+      counts.(ss) <- counts.(ss) + 1;
+      counts.(ds) <- counts.(ds) + 1;
+      incr cross
+    end
+  done;
+  (* lint: hot-end *)
+  (* Preallocate per-shard leg storage as plain integer arrays
+     (struct-of-arrays): the executor's boxed-tuple sub-traces are
+     materialized once, after dispatch, outside the hot path. *)
+  let births = Array.init k (fun s -> Array.make counts.(s) 0) in
+  let srcs = Array.init k (fun s -> Array.make counts.(s) 0) in
+  let dsts = Array.init k (fun s -> Array.make counts.(s) 0) in
+  let next = Array.make k 0 in
+  (* Fill pass: translate endpoints and split cross-shard requests.
+     Appending in trace order keeps every shard's births sorted. *)
+  (* lint: hot *)
+  for i = 0 to m - 1 do
+    let b, s, d = trace.(i) in
+    let ss = Directory.shard_of dir s in
+    let ds = Directory.shard_of dir d in
+    let j = next.(ss) in
+    births.(ss).(j) <- b;
+    srcs.(ss).(j) <- Directory.local_of dir s;
+    if ss = ds then begin
+      dsts.(ss).(j) <- Directory.local_of dir d;
+      next.(ss) <- j + 1
+    end
+    else begin
+      (* Ranges are ordered, so the boundary key facing a higher
+         shard is the range's top key and vice versa. *)
+      dsts.(ss).(j) <- (if ds > ss then Directory.size dir ss - 1 else 0);
+      next.(ss) <- j + 1;
+      let j' = next.(ds) in
+      births.(ds).(j') <- b;
+      srcs.(ds).(j') <- (if ss < ds then 0 else Directory.size dir ds - 1);
+      dsts.(ds).(j') <- Directory.local_of dir d;
+      next.(ds) <- j' + 1
+    end
+  done;
+  (* lint: hot-end *)
+  let runs =
+    Array.init k (fun s ->
+        Array.init counts.(s) (fun i ->
+            (births.(s).(i), srcs.(s).(i), dsts.(s).(i))))
+  in
+  let first_births =
+    Array.init k (fun s -> if counts.(s) > 0 then births.(s).(0) else max_int)
+  in
+  { directory = dir; runs; intra = !intra; cross = !cross; first_births }

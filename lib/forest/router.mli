@@ -1,0 +1,49 @@
+(** Cross-shard request routing.
+
+    [build] decomposes a global [(birth, src, dst)] trace into one
+    per-shard sub-trace each shard's unmodified {!Cbnet.Concurrent}
+    executor can run independently:
+
+    - an {e intra-shard} request (both endpoints in one shard) becomes
+      a single request in that shard, with endpoints translated to the
+      shard's local key space;
+    - a {e cross-shard} request becomes two legs at the original
+      birth: a source leg in [shard src] from [src] to the boundary
+      key facing the destination range, and a destination leg in
+      [shard dst] from the boundary key facing the source range to
+      [dst].  The directory hand-off between the legs is charged as
+      one extra routing hop per cross-shard request
+      ({!Overlay.run}).
+
+    Ranges are contiguous and ordered, so "the boundary key facing"
+    is local key 0 (downward) or [size - 1] (upward).  Legs are
+    appended in global trace order, which keeps every sub-trace
+    sorted by (birth, arrival order) — the executor's (birth, id)
+    priority is therefore a pure function of the input trace, never
+    of shard count, domain count or shard execution order.
+
+    Allocation is per-shard-compact: one sizing pass counts each
+    shard's legs, the exact arrays are preallocated, and the fill
+    pass writes plain integers — the per-message dispatch path
+    allocates nothing and is lint-enforced hot
+    ([(* lint: hot *)], docs/LINTING.md). *)
+
+type t = private {
+  directory : Directory.t;
+  runs : (int * int * int) array array;
+      (** Per-shard sub-trace in the shard's local key space, sorted
+          by birth; feed [runs.(s)] to {!Cbnet.Concurrent.run} on a
+          [Directory.size s]-node tree. *)
+  intra : int;  (** Requests with both endpoints in one shard. *)
+  cross : int;  (** Requests split into two legs (= directory hops). *)
+  first_births : int array;
+      (** Per shard: birth of its earliest leg, [max_int] if none —
+          lets {!Overlay} place shard makespans on the global clock. *)
+}
+
+val build : Directory.t -> (int * int * int) array -> t
+(** [build dir trace] routes [trace] (sorted by birth, endpoints in
+    [[0, Directory.n dir)]).
+
+    @raise Invalid_argument on an unsorted trace or an endpoint
+    outside the directory's key space. *)

@@ -1,4 +1,4 @@
-type t = BT | OPT | SN | DSN | SCBN | CBN | CBN_REF
+type t = BT | OPT | SN | DSN | SCBN | CBN | CBN_REF | CBN_FOREST
 
 let all = [ BT; OPT; SN; DSN; SCBN; CBN ]
 let dynamic = [ SN; DSN; SCBN; CBN ]
@@ -12,6 +12,7 @@ let name = function
   | SCBN -> "SCBN"
   | CBN -> "CBN"
   | CBN_REF -> "CBN-ref"
+  | CBN_FOREST -> "CBN-forest"
 
 let of_name s =
   match String.uppercase_ascii s with
@@ -22,14 +23,18 @@ let of_name s =
   | "SCBN" -> SCBN
   | "CBN" | "CBNET" -> CBN
   | "CBN-REF" | "CBNREF" -> CBN_REF
+  | "CBN-FOREST" | "CBNFOREST" | "FOREST" -> CBN_FOREST
   | _ -> invalid_arg (Printf.sprintf "Algo.of_name: unknown algorithm %S" s)
 
 let is_static = function BT | OPT -> true | _ -> false
-let is_concurrent = function DSN | CBN | CBN_REF -> true | _ -> false
+
+let is_concurrent = function
+  | DSN | CBN | CBN_REF | CBN_FOREST -> true
+  | _ -> false
 
 let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
     ?profile ?(prof_sink = Obskit.Sink.null) ?(check_invariants = false)
-    ?(domains = 1) algo trace =
+    ?(domains = 1) ?(shards = 1) algo trace =
   let n = trace.Workloads.Trace.n in
   let runs = Workloads.Trace.to_runs trace in
   (* Keep the topology so the invariant suite can audit the final
@@ -61,3 +66,12 @@ let run ?(config = Cbnet.Config.default) ?window ?(sink = Obskit.Sink.null)
   | CBN_REF ->
       let t = Bstnet.Build.balanced n in
       check t (Cbnet.Concurrent.Reference.run ~config ?window ~sink t runs)
+  | CBN_FOREST ->
+      (* Forest shard executions are plain Concurrent.run calls at
+         domains = 1; profiling a pool fan-out would need a
+         synchronized Profile.t, so the forest ignores ?profile. *)
+      let r =
+        Forest.Overlay.run ~config ?window ~sink ~check_invariants ~domains
+          ~shards ~n runs
+      in
+      r.Forest.Overlay.stats

@@ -13,6 +13,12 @@ type t =
           ({!Cbnet.Concurrent.Reference}) — identical results, original
           allocation profile; [bench perf] times it against CBN.  Not
           part of {!all}: it adds nothing to the paper's matrix. *)
+  | CBN_FOREST
+      (** The sharded forest overlay ({!Forest.Overlay}): CBN on k
+          independent range-sharded trees behind a directory
+          ([?shards]; docs/SCALING.md).  Not part of {!all}: at
+          [shards = 1] it is bit-identical to CBN, and the paper's
+          matrix is single-tree. *)
 
 val all : t list
 val dynamic : t list
@@ -38,6 +44,7 @@ val run :
   ?prof_sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
   ?domains:int ->
+  ?shards:int ->
   t ->
   Workloads.Trace.t ->
   Cbnet.Run_stats.t
@@ -51,7 +58,15 @@ val run :
 
     [domains] (default 1) parallelizes the CBN round loop across that
     many domains (see {!Cbnet.Concurrent}); results are bit-identical
-    at every domain count.  The other algorithms ignore it.
+    at every domain count.  For CBN_FOREST it instead fans shard
+    executions out across domains ({!Forest.Overlay.run}) — equally
+    bit-identical.  The other algorithms ignore it.
+
+    [shards] (default 1) sizes the CBN_FOREST directory
+    ({!Forest.Directory}); the other algorithms ignore it.
+    CBN_FOREST ignores [profile]/[prof_sink]: its shard executions
+    may fan out across a pool and {!Profkit.Profile.t} is
+    unsynchronized.
 
     [profile] / [prof_sink] enable phase-level self-profiling on the
     CBN executor (see {!Cbnet.Concurrent.run} and

@@ -37,6 +37,7 @@ val run_cell :
   ?prof_sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
   ?domains:int ->
+  ?shards:int ->
   workload:string ->
   algo:Algo.t ->
   unit ->
@@ -61,6 +62,9 @@ val run_cell :
     seed-level [?pool] for matrices and [domains] for single large
     runs.  Measurements are bit-identical at every domain count.
 
+    [shards] (default 1) sizes the CBN_FOREST directory; every other
+    algorithm ignores it (see {!Algo.run}).
+
     [profile] / [prof_sink] turn on phase-level self-profiling of the
     CBN executions ({!Algo.run}, {!Profkit.Profile}); every seed's
     phases and counters accumulate into the one caller-owned profile.
@@ -78,6 +82,7 @@ val run_matrix :
   ?sink:Obskit.Sink.t ->
   ?check_invariants:bool ->
   ?domains:int ->
+  ?shards:int ->
   workloads:string list ->
   algos:Algo.t list ->
   unit ->

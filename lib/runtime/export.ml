@@ -132,6 +132,45 @@ let scaling_json ~commit ~timestamp ~host_cores rows path =
         rows;
       output_string oc "\n  ]\n}\n")
 
+type forest_row = {
+  workload : string;
+  n : int;
+  shards : int;
+  domains : int;
+  rounds : int;
+  messages : int;
+  requests : int;
+  cross : int;
+  wall_seconds : float;
+}
+
+let forest_json ~commit ~timestamp ~host_cores rows path =
+  with_out path (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"commit\": \"%s\",\n  \"timestamp\": \"%s\",\n  \"host_cores\": \
+         %d,\n"
+        (json_escape commit) (json_escape timestamp) host_cores;
+      output_string oc "  \"rows\": [";
+      List.iteri
+        (fun i (r : forest_row) ->
+          if i > 0 then output_string oc ",";
+          let rate total =
+            if r.wall_seconds > 0.0 then float_of_int total /. r.wall_seconds
+            else 0.0
+          in
+          Printf.fprintf oc
+            "\n    {\"workload\": \"%s\", \"n\": %d, \"shards\": %d, \
+             \"domains\": %d, \"rounds\": %d, \"messages\": %d, \"requests\": \
+             %d, \"cross\": %d, \"wall_seconds\": %s, \"rounds_per_sec\": %s, \
+             \"msgs_per_sec\": %s}"
+            (json_escape r.workload) r.n r.shards r.domains r.rounds r.messages
+            r.requests r.cross
+            (json_float r.wall_seconds)
+            (json_float (rate r.rounds))
+            (json_float (rate r.messages)))
+        rows;
+      output_string oc "\n  ]\n}\n")
+
 type chaos_row = {
   workload : string;
   plan : string;

@@ -53,6 +53,35 @@ val scaling_json :
     [rounds_per_sec]/[msgs_per_sec] rates.  Hand-rolled writer — no
     JSON dependency. *)
 
+type forest_row = {
+  workload : string;
+  n : int;  (** Global key-space size of the cell's trace. *)
+  shards : int;
+  domains : int;  (** Shard-level fan-out of the forest run. *)
+  rounds : int;  (** Slowest shard's round count. *)
+  messages : int;  (** Delivered legs (intra + 2 x cross). *)
+  requests : int;  (** End-to-end requests in the trace. *)
+  cross : int;  (** Requests split across two shards. *)
+  wall_seconds : float;  (** Minimum wall clock across repetitions. *)
+}
+(** One [bench forest-smoke] / [bench forest-scaling] cell: the forest
+    overlay on one workload trace at one (n, shards, domains) point. *)
+
+val forest_json :
+  commit:string ->
+  timestamp:string ->
+  host_cores:int ->
+  forest_row list ->
+  string ->
+  unit
+(** Machine-readable forest-throughput export
+    ([BENCH_FOREST_BASELINE.json], [bench-forest.json]): like
+    {!scaling_json}, the root carries [host_cores] so the CI diff
+    ([bench/compare_bench.exe --forest]) can tell which points were
+    measured with real parallelism; each row adds derived
+    [rounds_per_sec]/[msgs_per_sec] rates.  Hand-rolled writer — no
+    JSON dependency. *)
+
 type chaos_row = {
   workload : string;
   plan : string;  (** The fault plan's one-line text form. *)

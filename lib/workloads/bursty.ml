@@ -1,4 +1,5 @@
 let generate ?(n = 1024) ?(m = 10_000) ?(mean_burst = 50.0) ~seed () =
+  if n < 2 then invalid_arg "Bursty.generate: n must be >= 2";
   if mean_burst < 1.0 then invalid_arg "Bursty.generate: mean_burst must be >= 1";
   let rng = Simkit.Rng.create seed in
   let fresh_pair () =

@@ -7,80 +7,52 @@ type entry = {
   generate : scale -> seed:int -> Trace.t;
 }
 
+(* The "(n=...)" suffix every description carries is derived from the
+   entry's [n] field, so catalog text can never drift from the actual
+   default size. *)
+let entry ~key ~base ~n ~generate =
+  { key; description = Printf.sprintf "%s (n=%d)" base n; n; generate }
+
 let all =
   [
-    {
-      key = "projector";
-      description = "ProjecToR-like: skewed fixed matrix, i.i.d. (n=128)";
-      n = 128;
-      generate =
-        (fun scale ~seed ->
-          match scale with
-          | Smoke -> Projector.generate ~n:32 ~m:2_000 ~support:300 ~seed ()
-          | Default | Full -> Projector.generate ~seed ());
-    };
-    {
-      key = "skewed";
-      description = "Zipf pairs, i.i.d. (n=1024)";
-      n = 1024;
-      generate =
-        (fun scale ~seed ->
-          match scale with
-          | Smoke -> Skewed.generate ~n:64 ~m:2_000 ~support:256 ~seed ()
-          | Default | Full -> Skewed.generate ~seed ());
-    };
-    {
-      key = "pfabric";
-      description = "pFabric-like flow bursts (n=144)";
-      n = 144;
-      generate =
-        (fun scale ~seed ->
-          match scale with
-          | Smoke -> Pfabric.generate ~n:36 ~m:2_000 ~seed ()
-          | Default -> Pfabric.generate ~m:50_000 ~seed ()
-          | Full -> Pfabric.generate ~m:1_000_000 ~seed ());
-    };
-    {
-      key = "bursty";
-      description = "geometric repeat bursts, uniform pairs (n=1024)";
-      n = 1024;
-      generate =
-        (fun scale ~seed ->
-          match scale with
-          | Smoke -> Bursty.generate ~n:64 ~m:2_000 ~seed ()
-          | Default | Full -> Bursty.generate ~seed ());
-    };
-    {
-      key = "hpc";
-      description = "2-D stencil + binomial collectives (n=1024)";
-      n = 1024;
-      generate =
-        (fun scale ~seed ->
-          match scale with
-          | Smoke -> Hpc.generate ~side:8 ~m:2_000 ~seed ()
-          | Default -> Hpc.generate ~m:50_000 ~seed ()
-          | Full -> Hpc.generate ~m:1_000_000 ~seed ());
-    };
-    {
-      key = "datastructure";
-      description = "root destination, normal sources (n=128)";
-      n = 128;
-      generate =
-        (fun scale ~seed ->
-          match scale with
-          | Smoke -> Datastructure.generate ~n:32 ~m:2_000 ~seed ()
-          | Default | Full -> Datastructure.generate ~seed ());
-    };
-    {
-      key = "uniform";
-      description = "uniform i.i.d. reference (n=128)";
-      n = 128;
-      generate =
-        (fun scale ~seed ->
-          match scale with
-          | Smoke -> Uniform.generate ~n:32 ~m:2_000 ~seed ()
-          | Default | Full -> Uniform.generate ~seed ());
-    };
+    entry ~key:"projector" ~base:"ProjecToR-like: skewed fixed matrix, i.i.d."
+      ~n:128
+      ~generate:(fun scale ~seed ->
+        match scale with
+        | Smoke -> Projector.generate ~n:32 ~m:2_000 ~support:300 ~seed ()
+        | Default | Full -> Projector.generate ~seed ());
+    entry ~key:"skewed" ~base:"Zipf pairs, i.i.d." ~n:1024
+      ~generate:(fun scale ~seed ->
+        match scale with
+        | Smoke -> Skewed.generate ~n:64 ~m:2_000 ~support:256 ~seed ()
+        | Default | Full -> Skewed.generate ~seed ());
+    entry ~key:"pfabric" ~base:"pFabric-like flow bursts" ~n:144
+      ~generate:(fun scale ~seed ->
+        match scale with
+        | Smoke -> Pfabric.generate ~n:36 ~m:2_000 ~seed ()
+        | Default -> Pfabric.generate ~m:50_000 ~seed ()
+        | Full -> Pfabric.generate ~m:1_000_000 ~seed ());
+    entry ~key:"bursty" ~base:"geometric repeat bursts, uniform pairs" ~n:1024
+      ~generate:(fun scale ~seed ->
+        match scale with
+        | Smoke -> Bursty.generate ~n:64 ~m:2_000 ~seed ()
+        | Default | Full -> Bursty.generate ~seed ());
+    entry ~key:"hpc" ~base:"2-D stencil + binomial collectives" ~n:1024
+      ~generate:(fun scale ~seed ->
+        match scale with
+        | Smoke -> Hpc.generate ~side:8 ~m:2_000 ~seed ()
+        | Default -> Hpc.generate ~m:50_000 ~seed ()
+        | Full -> Hpc.generate ~m:1_000_000 ~seed ());
+    entry ~key:"datastructure" ~base:"root destination, normal sources" ~n:128
+      ~generate:(fun scale ~seed ->
+        match scale with
+        | Smoke -> Datastructure.generate ~n:32 ~m:2_000 ~seed ()
+        | Default | Full -> Datastructure.generate ~seed ());
+    entry ~key:"uniform" ~base:"uniform i.i.d. reference" ~n:128
+      ~generate:(fun scale ~seed ->
+        match scale with
+        | Smoke -> Uniform.generate ~n:32 ~m:2_000 ~seed ()
+        | Default | Full -> Uniform.generate ~seed ());
   ]
 
 let find key = List.find (fun e -> e.key = key) all
@@ -88,3 +60,30 @@ let keys = List.map (fun e -> e.key) all
 
 let paper_six =
   [ "projector"; "skewed"; "pfabric"; "bursty"; "hpc"; "datastructure" ]
+
+(* Families with genuine (n, m) scaling knobs, for the forest sweeps
+   (n from 1k to 1M).  Keys deliberately overlap [all] where the
+   family supports arbitrary n; "zipf" is an alias for "skewed". *)
+let scaled_keys = [ "pfabric"; "hpc"; "skewed"; "zipf"; "bursty"; "uniform" ]
+
+let scaled key ~n ~m ~seed =
+  if n < 2 then invalid_arg "Catalog.scaled: n must be >= 2";
+  if m < 1 then invalid_arg "Catalog.scaled: m must be >= 1";
+  match key with
+  | "pfabric" -> Pfabric.generate ~n ~m ~seed ()
+  | "hpc" ->
+      (* The stencil needs a square grid: round n down to side^2 (the
+         trace's own [n] field carries the actual size). *)
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Hpc.generate ~side ~m ~seed ()
+  | "skewed" | "zipf" ->
+      (* Keep the hot-pair matrix proportional to n so locality (and
+         rejection-sampling cost) stays comparable across sizes. *)
+      let support = max n (min (4 * n) (n * (n - 1))) in
+      Skewed.generate ~n ~m ~support ~seed ()
+  | "bursty" -> Bursty.generate ~n ~m ~seed ()
+  | "uniform" -> Uniform.generate ~n ~m ~seed ()
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Catalog.scaled: unknown family %S (known: %s)" key
+           (String.concat ", " scaled_keys))

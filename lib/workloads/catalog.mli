@@ -10,6 +10,8 @@ type scale = Smoke | Default | Full
 type entry = {
   key : string;  (** e.g. "projector" *)
   description : string;
+      (** One-line summary; its "(n=...)" suffix is derived from the
+          [n] field, never hand-written. *)
   n : int;
   generate : scale -> seed:int -> Trace.t;
 }
@@ -24,3 +26,17 @@ val keys : string list
 
 val paper_six : string list
 (** The six workloads of Figures 2-4, in the paper's grouping order. *)
+
+val scaled_keys : string list
+(** The families with genuine (n, m) scaling knobs: pfabric, hpc,
+    skewed (alias zipf), bursty, uniform. *)
+
+val scaled : string -> n:int -> m:int -> seed:int -> Trace.t
+(** [scaled key ~n ~m ~seed] generates family [key] at an arbitrary
+    size — the forest sweeps use it for n from 1k to 1M.  "hpc" rounds
+    [n] down to the nearest square (the returned trace's [n] field is
+    authoritative); "skewed"/"zipf" size the hot-pair support
+    proportionally to [n].
+
+    @raise Invalid_argument for an unknown family, [n < 2] or
+    [m < 1]. *)

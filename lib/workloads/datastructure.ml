@@ -1,4 +1,5 @@
 let generate ?(n = 128) ?(m = 10_000) ?(std = 1.6) ~seed () =
+  if n < 2 then invalid_arg "Datastructure.generate: n must be >= 2";
   if std <= 0.0 then invalid_arg "Datastructure.generate: std must be positive";
   let rng = Simkit.Rng.create seed in
   let root = (n - 1) / 2 in

@@ -1,5 +1,6 @@
 let generate ?(n = 256) ?(m = 20_000) ?(phases = 2) ?(alpha = 1.2)
     ?(support = 512) ~seed () =
+  if n < 2 then invalid_arg "Drifting.generate: n must be >= 2";
   if phases < 1 then invalid_arg "Drifting.generate: phases must be >= 1";
   if phases * support > n * (n - 1) / 2 then
     invalid_arg "Drifting.generate: support too large for disjoint phases";

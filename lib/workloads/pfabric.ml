@@ -6,6 +6,7 @@ let pareto rng ~shape ~scale =
 
 let generate ?(n = 144) ?(m = 100_000) ?(mean_flow = 300.0) ?(pareto_shape = 1.5)
     ?(concurrency = 4) ~seed () =
+  if n < 2 then invalid_arg "Pfabric.generate: n must be >= 2";
   if concurrency < 1 then invalid_arg "Pfabric.generate: concurrency must be >= 1";
   let rng = Simkit.Rng.create seed in
   (* Pareto with mean = scale * shape / (shape - 1): choose scale to

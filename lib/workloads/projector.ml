@@ -1,5 +1,12 @@
 let generate ?(n = 128) ?(m = 10_000) ?(support = 8367) ?(alpha = 2.0)
     ?(hot_fraction = 0.25) ~seed () =
+  if n < 2 then invalid_arg "Projector.generate: n must be >= 2";
+  if support < n then
+    invalid_arg
+      (Printf.sprintf
+         "Projector.generate: support %d < n %d (the pair matrix would leave \
+          nodes unused; pass a support >= n)"
+         support n);
   if support > n * (n - 1) then invalid_arg "Projector.generate: support too large";
   if hot_fraction <= 0.0 || hot_fraction > 1.0 then
     invalid_arg "Projector.generate: hot_fraction outside (0, 1]";

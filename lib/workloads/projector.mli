@@ -16,4 +16,7 @@ val generate :
   seed:int -> unit -> Trace.t
 (** Defaults: [n = 128], [m = 10_000], [support = 8367],
     [alpha = 2.0] (the published matrix is heavily concentrated on few pairs), [hot_fraction = 0.25] (heavy pairs are drawn with
-    both endpoints in the hot quarter of the racks). *)
+    both endpoints in the hot quarter of the racks).
+
+    @raise Invalid_argument if [n < 2], [support] falls outside
+    [[n, n * (n - 1)]], or [hot_fraction] is outside [(0, 1]]. *)

@@ -14,6 +14,13 @@ let random_distinct_pairs rng ~n ~count =
   pairs
 
 let generate ?(n = 1024) ?(m = 10_000) ?(alpha = 2.0) ?(support = 4096) ~seed () =
+  if n < 2 then invalid_arg "Skewed.generate: n must be >= 2";
+  if support < n then
+    invalid_arg
+      (Printf.sprintf
+         "Skewed.generate: support %d < n %d (the Zipf pair matrix would \
+          leave nodes unused; pass a support >= n)"
+         support n);
   if support > n * (n - 1) then invalid_arg "Skewed.generate: support too large";
   let rng = Simkit.Rng.create seed in
   let pairs = random_distinct_pairs rng ~n ~count:support in

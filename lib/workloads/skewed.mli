@@ -10,7 +10,10 @@ val generate :
   ?n:int -> ?m:int -> ?alpha:float -> ?support:int -> seed:int -> unit ->
   Trace.t
 (** Defaults: [n = 1024], [m = 10_000], [alpha = 2.0], [support =
-    4096] distinct hot pairs. *)
+    4096] distinct hot pairs.
+
+    @raise Invalid_argument if [n < 2] or [support] falls outside
+    [[n, n * (n - 1)]]. *)
 
 val generate_with_entropy :
   ?n:int -> ?m:int -> ?support:int -> entropy:float -> seed:int -> unit ->

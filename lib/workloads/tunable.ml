@@ -3,6 +3,7 @@ let generate ?(n = 256) ?(m = 10_000) ?(temporal = 0.0) ?(window = 64)
   (* A wide default support keeps the alpha = 0 corner genuinely
      structureless (pairs rarely repeat at the default m). *)
   let support = match support with Some s -> s | None -> min (n * (n - 1)) 16_384 in
+  if n < 2 then invalid_arg "Tunable.generate: n must be >= 2";
   if temporal < 0.0 || temporal >= 1.0 then
     invalid_arg "Tunable.generate: temporal must be in [0, 1)";
   if window < 1 then invalid_arg "Tunable.generate: window must be >= 1";

@@ -1,4 +1,5 @@
 let generate ?(n = 128) ?(m = 10_000) ~seed () =
+  if n < 2 then invalid_arg "Uniform.generate: n must be >= 2";
   let rng = Simkit.Rng.create seed in
   let requests =
     Array.init m (fun _ -> (Simkit.Rng.int rng n, Simkit.Rng.int rng n))

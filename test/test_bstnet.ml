@@ -249,6 +249,25 @@ let test_serialize_roundtrip () =
     done
   done
 
+(* Large-n smoke: the flat-array topology, structural checker and
+   serializer must stay linear-time and correct well past the old
+   n=1024 defaults — the forest overlay builds shards at these sizes. *)
+let large_n_roundtrip n () =
+  let t = Build.balanced n in
+  Bstnet.Check.assert_ok (Bstnet.Check.structural t);
+  let t' = Bstnet.Serialize.of_string (Bstnet.Serialize.to_string t) in
+  Alcotest.(check int) "same n" (T.n t) (T.n t');
+  Alcotest.(check int) "same root" (T.root t) (T.root t');
+  for v = 0 to n - 1 do
+    if
+      T.parent t v <> T.parent t' v
+      || T.left t v <> T.left t' v
+      || T.right t v <> T.right t' v
+      || T.weight t v <> T.weight t' v
+    then Alcotest.failf "n=%d: round-trip differs at node %d" n v
+  done;
+  Bstnet.Check.assert_ok (Bstnet.Check.structural t')
+
 let test_serialize_rejects_garbage () =
   Alcotest.(check bool) "bad header" true
     (try ignore (Bstnet.Serialize.of_string "nope"); false with Failure _ -> true);
@@ -342,6 +361,10 @@ let () =
           Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
           Alcotest.test_case "serialize rejects garbage" `Quick
             test_serialize_rejects_garbage;
+          Alcotest.test_case "large n=1e5 roundtrip" `Quick
+            (large_n_roundtrip 100_000);
+          Alcotest.test_case "large n=1e6 roundtrip" `Slow
+            (large_n_roundtrip 1_000_000);
         ] );
       ("properties", qcheck_tests);
     ]

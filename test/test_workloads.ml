@@ -210,6 +210,72 @@ let test_catalog_lookup () =
   Alcotest.check_raises "unknown" Not_found (fun () ->
       ignore (Workloads.Catalog.find "nope"))
 
+let test_catalog_descriptions () =
+  (* Descriptions derive their size from the entry's n field — no
+     hardcoded "(n=1024)" strings to drift out of sync. *)
+  List.iter
+    (fun (e : Workloads.Catalog.entry) ->
+      let tag = Printf.sprintf "(n=%d)" e.Workloads.Catalog.n in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      if not (contains e.Workloads.Catalog.description tag) then
+        Alcotest.failf "%s: description %S lacks %s" e.Workloads.Catalog.key
+          e.Workloads.Catalog.description tag)
+    Workloads.Catalog.all
+
+let test_generator_validation () =
+  let rejects label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  in
+  rejects "uniform n<2" (fun () ->
+      Workloads.Uniform.generate ~n:1 ~m:10 ~seed:1 ());
+  rejects "pfabric n<2" (fun () ->
+      Workloads.Pfabric.generate ~n:0 ~m:10 ~seed:1 ());
+  rejects "bursty n<2" (fun () ->
+      Workloads.Bursty.generate ~n:1 ~m:10 ~seed:1 ());
+  rejects "skewed n<2" (fun () ->
+      Workloads.Skewed.generate ~n:1 ~m:10 ~support:4 ~seed:1 ());
+  rejects "skewed support<n" (fun () ->
+      Workloads.Skewed.generate ~n:64 ~m:10 ~support:8 ~seed:1 ());
+  rejects "projector support<n" (fun () ->
+      Workloads.Projector.generate ~n:64 ~m:10 ~support:8 ~seed:1 ());
+  rejects "datastructure n<2" (fun () ->
+      Workloads.Datastructure.generate ~n:1 ~m:10 ~seed:1 ());
+  rejects "drifting n<2" (fun () ->
+      Workloads.Drifting.generate ~n:1 ~m:10 ~seed:1 ())
+
+let test_catalog_scaled () =
+  List.iter
+    (fun key ->
+      List.iter
+        (fun n ->
+          let t = Workloads.Catalog.scaled key ~n ~m:200 ~seed:3 in
+          (* hpc rounds n down to a square grid; everyone else keeps it. *)
+          if key <> "hpc" then
+            Alcotest.(check int) (key ^ ": n") n t.Trace.n
+          else Alcotest.(check bool) (key ^ ": n near") true (t.Trace.n <= n);
+          Alcotest.(check bool) (key ^ ": n >= 2") true (t.Trace.n >= 2);
+          Alcotest.(check int) (key ^ ": m") 200 (Trace.length t);
+          Alcotest.(check bool) (key ^ ": range") true (in_range t))
+        [ 64; 1000 ])
+    Workloads.Catalog.scaled_keys;
+  let rejects label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  in
+  rejects "unknown key" (fun () ->
+      Workloads.Catalog.scaled "nope" ~n:64 ~m:10 ~seed:1);
+  rejects "scaled n<2" (fun () ->
+      Workloads.Catalog.scaled "uniform" ~n:1 ~m:10 ~seed:1)
+
 let qcheck_tests =
   let open QCheck2 in
   [
@@ -261,6 +327,11 @@ let () =
           Alcotest.test_case "datastructure root" `Quick test_datastructure_root_destination;
           Alcotest.test_case "drifting disjoint" `Quick test_drifting_phases_disjoint;
           Alcotest.test_case "catalog" `Quick test_catalog_lookup;
+          Alcotest.test_case "catalog descriptions" `Quick
+            test_catalog_descriptions;
+          Alcotest.test_case "generator validation" `Quick
+            test_generator_validation;
+          Alcotest.test_case "catalog scaled" `Quick test_catalog_scaled;
         ] );
       ("properties", qcheck_tests);
     ]
