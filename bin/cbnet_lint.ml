@@ -19,6 +19,8 @@ let usage () =
     \  --update-baseline  rewrite the baseline with the current findings\n\
     \  --only R1,R2       enable only these rules\n\
     \  --disable R1,R2    disable these rules\n\
+    \  --format FMT       finding output: plain (default) or github\n\
+    \                     (::error workflow annotations)\n\
     \  --list-rules       print the rule catalog and exit\n\
      \n\
      exit status: 0 clean, 1 findings or stale baseline entries, 2 usage"
@@ -40,6 +42,56 @@ let validate_rules rules =
         bad_usage (Printf.sprintf "unknown rule %S (try --list-rules)" r))
     rules
 
+(* GitHub workflow-command data escaping: the message part escapes
+   %/CR/LF, the property parts additionally , and :. *)
+let gh_escape_data s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let gh_escape_prop s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | ',' -> Buffer.add_string b "%2C"
+      | ':' -> Buffer.add_string b "%3A"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_finding ~format (f : Lintkit.Finding.t) =
+  match format with
+  | `Plain -> print_endline (Lintkit.Finding.to_string f)
+  | `Github ->
+      Printf.printf "::error file=%s,line=%d,col=%d,title=%s::%s\n"
+        (gh_escape_prop f.Lintkit.Finding.file)
+        f.Lintkit.Finding.line f.Lintkit.Finding.col
+        (gh_escape_prop f.Lintkit.Finding.rule)
+        (gh_escape_data f.Lintkit.Finding.message)
+
+let print_stale ~format ~baseline_file key =
+  match format with
+  | `Plain ->
+      Printf.printf "stale baseline entry (fixed — remove it from %s): %s\n"
+        baseline_file key
+  | `Github ->
+      Printf.printf "::error title=stale-baseline::%s\n"
+        (gh_escape_data
+           (Printf.sprintf
+              "stale baseline entry (fixed — remove it from %s): %s"
+              baseline_file key))
+
 let () =
   let paths = ref [] in
   let baseline_path = ref None in
@@ -47,6 +99,7 @@ let () =
   let update_baseline = ref false in
   let only = ref None in
   let disabled = ref [] in
+  let format = ref `Plain in
   let args = Array.to_list Sys.argv |> List.tl in
   let rec parse = function
     | [] -> ()
@@ -77,6 +130,16 @@ let () =
         disabled := rules @ !disabled;
         parse rest
     | "--disable" :: [] -> bad_usage "--disable needs a rule list"
+    | "--format" :: fmt :: rest ->
+        (match fmt with
+        | "plain" -> format := `Plain
+        | "github" -> format := `Github
+        | other ->
+            bad_usage
+              (Printf.sprintf "unknown format %S (expected plain or github)"
+                 other));
+        parse rest
+    | "--format" :: [] -> bad_usage "--format needs plain or github"
     | arg :: _ when String.length arg > 2 && String.equal (String.sub arg 0 2) "--"
       ->
         bad_usage (Printf.sprintf "unknown option %s" arg)
@@ -104,11 +167,12 @@ let () =
       | None -> if Sys.file_exists default_baseline then Some default_baseline
                 else None
   in
+  let passes = [ Effectkit.Analyze.pass ] in
   if !update_baseline then begin
     let target =
       match !baseline_path with Some f -> f | None -> default_baseline
     in
-    let outcome = Lintkit.Engine.run ~enabled paths in
+    let outcome = Lintkit.Engine.run ~enabled ~passes paths in
     let keys = List.map Lintkit.Finding.key outcome.Lintkit.Engine.findings in
     Lintkit.Baseline.save target keys;
     Printf.printf "cbnet_lint: wrote %d baseline entries to %s\n"
@@ -117,16 +181,13 @@ let () =
     exit 0
   end;
   let baseline = Option.map Lintkit.Baseline.load baseline_file in
-  let outcome = Lintkit.Engine.run ~enabled ?baseline paths in
+  let outcome = Lintkit.Engine.run ~enabled ~passes ?baseline paths in
   List.iter
-    (fun f -> print_endline (Lintkit.Finding.to_string f))
+    (fun f -> print_finding ~format:!format f)
     outcome.Lintkit.Engine.findings;
   List.iter
-    (fun key ->
-      Printf.printf
-        "stale baseline entry (fixed — remove it from %s): %s\n"
-        (Option.value baseline_file ~default:default_baseline)
-        key)
+    (print_stale ~format:!format
+       ~baseline_file:(Option.value baseline_file ~default:default_baseline))
     outcome.Lintkit.Engine.stale;
   Printf.eprintf
     "cbnet_lint: %d finding(s), %d baselined, %d suppressed in %d file(s)\n"

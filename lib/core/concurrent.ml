@@ -671,6 +671,7 @@ let emit_phase_times st p ~round =
    state: each member writes only the slots of its own slice. *)
 
 (* lint: hot *)
+(* effect: wave -- writes this member's own slot only *)
 let slot_add (slot : slot) t n v =
   if v <> T.nil then begin
     slot.reads.(n) <- v;
@@ -686,6 +687,7 @@ let slot_add (slot : slot) t n v =
    the child's own field, and every mutation that re-routes one —
    including replacing a node as its parent's child — also bumps the
    stamp of the node it dethrones. *)
+(* effect: wave -- writes this member's own slot only *)
 let fill_reads st (slot : slot) =
   let t = st.t in
   let p = slot.splan in
@@ -709,6 +711,7 @@ let fill_reads st (slot : slot) =
 
 (* Speculate one message's turn into its slot.  Returns true iff the
    slot holds a fully resolved plan ([tag_plan]). *)
+(* effect: wave -- writes this member's own slot and plan buffer only *)
 let wave_speculate st (slot : slot) (msg : M.t) =
   if
     st.wave_cache
@@ -763,7 +766,10 @@ let wave_speculate st (slot : slot) (msg : M.t) =
   end
 
 (* One team member's share of the wave: a contiguous slice of the
-   committed queue. *)
+   committed queue.  This is the concurrent entry point: everything it
+   reaches is checked by the wave-race lint rule against the wave-local
+   write allowlist (docs/LINTING.md, "Effect analysis"). *)
+(* effect: wave -- concurrent wave root; slice-disjoint slot writes *)
 let wave_member st m =
   let lo = m * st.wave_chunk in
   let hi = min st.wave_count (lo + st.wave_chunk) in

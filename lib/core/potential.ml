@@ -17,6 +17,7 @@ let table =
   Array.init table_size (fun w -> if w <= 1 then 0.0 else log2 (float_of_int w))
 
 (* lint: hot *)
+(* effect: pure *)
 let rank w =
   if w <= 1 then 0.0
   else if w < table_size then Array.unsafe_get table w
@@ -41,6 +42,7 @@ let node_rank t v =
    and recomputed values are bit-identical — the memo always holds
    exactly [rank (weight v)] — so skipping the write cannot change any
    downstream float. *)
+(* effect: pure *)
 let node_rank_ro t v =
   let r = T.rank_memo t v in
   if r >= 0.0 then r else rank (T.weight t v)
@@ -83,12 +85,14 @@ let delta_double_promote t c =
 (* lint: hot *)
 (* Side-effect-free ΔΦ twins (no rank-memo writes) for concurrent
    speculation.  Same arithmetic, same float results. *)
+(* effect: pure *)
 let delta_promote_ro t c =
   let p = T.parent t c in
   if p = T.nil then invalid_arg "Potential.delta_promote_ro: node is the root";
   let wp' = T.weight t p - T.weight t c + weight_opt t (transferred_child t c) in
   rank wp' -. node_rank_ro t c
 
+(* effect: pure *)
 let delta_double_promote_ro t c =
   let p = T.parent t c in
   if p = T.nil then
@@ -102,3 +106,9 @@ let delta_double_promote_ro t c =
   let wg' = T.weight t g - T.weight t p + weight_opt t t2 in
   rank wp' +. rank wg' -. node_rank_ro t c -. node_rank_ro t p
 (* lint: hot-end *)
+
+(* The "effect: pure" markers above are verified interprocedurally by
+   cbnet_lint's effect-pure rule: lib/effectkit computes each
+   function's transitive write set and fails the lint if a memo write
+   ever leaks into a _ro twin.  See docs/LINTING.md, "Effect
+   analysis". *)

@@ -88,6 +88,7 @@ let spec_flip = 2
 let spec_climb = 4
 
 (* lint: hot *)
+(* effect: wave -- writes only the caller's plan buffer *)
 let speculate_turn_probe buf t (msg : M.t) =
   match msg.kind with
   | M.Weight_update ->

@@ -85,6 +85,7 @@ let cluster st =
   else if st.cluster3 = T.nil then [ st.cluster0; st.cluster1; st.cluster2 ]
   else [ st.cluster0; st.cluster1; st.cluster2; st.cluster3 ]
 
+(* effect: wave -- fills this plan buffer only *)
 let set_passed st a b =
   st.passed0 <- a;
   st.passed1 <- b
@@ -92,6 +93,7 @@ let set_passed st a b =
 (* [head] is the optional anchor node ([T.nil] when absent) that the
    list planner prepended with [cons_if_real]; [d] may also be [nil]
    for three-element clusters. *)
+(* effect: wave -- fills this plan buffer only *)
 let set_cluster st head a b d =
   if head = T.nil then begin
     st.cluster0 <- a;
@@ -109,6 +111,7 @@ let set_cluster st head a b d =
 (* The climb of a message ends at the LCA with its destination; the
    climb of a weight-update message (dst = nil) ends at the root. *)
 (* lint: hot *)
+(* effect: pure *)
 let climb_continues t ~node ~dst =
   if dst = T.nil then T.parent t node <> T.nil
   else match T.direction_to t ~src:node ~dst with
@@ -123,6 +126,7 @@ let climb_continues t ~node ~dst =
    on the core alone and skip the ΔΦ evaluation for turns that are
    going to pause anyway (the anchor only joins the cluster when the
    step rotates, which ΔΦ decides). *)
+(* effect: wave -- fills this plan buffer only *)
 let probe_up_into st t ~current:x ~dst =
   let p = T.parent t x in
   if p = T.nil then invalid_arg "Step.plan_up: current node is the root";
@@ -147,6 +151,7 @@ let probe_up_into st t ~current:x ~dst =
     st.cluster3 <- T.nil
   end
 
+(* effect: wave -- fills this plan buffer only *)
 let probe_down_into st t ~current:x ~dst =
   let y = T.next_hop t ~src:x ~dst in
   st.current <- x;
@@ -169,18 +174,39 @@ let probe_down_into st t ~current:x ~dst =
     st.cluster3 <- T.nil
   end
 
-(* Completes a probed buffer into a full plan: evaluates ΔΦ, decides
-   the rotation, and fills the movement/bookkeeping fields.  When the
-   step does not rotate the probed cluster is already final; when it
-   does, the anchor is folded in at the front (matching the list
-   planner's [cons_if_real] order).
+(* ΔΦ of the probed step.  Memoizing variant for the serial (commit)
+   path: [Potential.delta_*] may write the rank memo as it evaluates,
+   so this twin must never run from the speculative wave. *)
+let probe_dphi st t =
+  match st.kind with
+  | Bu_zig -> Potential.delta_promote t st.cluster0
+  | Bu_semi_zig_zig -> Potential.delta_promote t st.cluster1
+  | Bu_semi_zig_zag -> Potential.delta_double_promote t st.cluster0
+  | Td_zig | Td_semi_zig_zig -> Potential.delta_promote t st.cluster1
+  | Td_semi_zig_zag -> Potential.delta_double_promote t st.cluster2
 
-   [~ro] selects the read-only ΔΦ twins (no rank-memo writes) so the
-   parallel plan wave can resolve speculatively from several domains
-   at once; the float results are bit-identical either way.  The
-   branch is a plain bool test at each ΔΦ call site (not a closure) to
-   keep the hot path allocation-free. *)
-let resolve_gen ~ro st config t =
+(* Read-only twin for the parallel plan wave: bit-identical floats, no
+   rank-memo writes.  The ro/rw choice lives at this seam (two sibling
+   probes selected by the caller, not a [~ro] flag threaded through the
+   resolver) so the wave's ΔΦ path is statically write-free — the
+   effect analysis verifies it, a runtime flag it could not. *)
+(* effect: pure *)
+let probe_dphi_ro st t =
+  match st.kind with
+  | Bu_zig -> Potential.delta_promote_ro t st.cluster0
+  | Bu_semi_zig_zig -> Potential.delta_promote_ro t st.cluster1
+  | Bu_semi_zig_zag -> Potential.delta_double_promote_ro t st.cluster0
+  | Td_zig | Td_semi_zig_zig -> Potential.delta_promote_ro t st.cluster1
+  | Td_semi_zig_zag -> Potential.delta_double_promote_ro t st.cluster2
+
+(* Completes a probed buffer into a full plan from an already-evaluated
+   ΔΦ: decides the rotation and fills the movement/bookkeeping fields.
+   When the step does not rotate the probed cluster is already final;
+   when it does, the anchor is folded in at the front (matching the
+   list planner's [cons_if_real] order).  Writes nothing but the plan
+   buffer itself, so both the serial loop and the wave may call it. *)
+(* effect: wave -- fills this plan buffer only *)
+let resolve_with st config t ~delta_phi =
   let x = st.cluster0 in
   let dst = st.dst in
   match st.kind with
@@ -192,10 +218,6 @@ let resolve_gen ~ro st config t =
          (Algorithm 1, line 3) — so it forwards here instead of
          rotating itself above the root. *)
       let p = st.cluster1 in
-      let delta_phi =
-        if ro then Potential.delta_promote_ro t x
-        else Potential.delta_promote t x
-      in
       let rotate =
         delta_phi < -.config.Config.delta && not (dst = T.nil && T.is_root t p)
       in
@@ -213,10 +235,6 @@ let resolve_gen ~ro st config t =
       (* Semi zig-zig: one rotation promoting p over g; the message
          hops to p, which now sits two levels higher. *)
       let p = st.cluster1 and g = st.cluster2 in
-      let delta_phi =
-        if ro then Potential.delta_promote_ro t p
-        else Potential.delta_promote t p
-      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -234,10 +252,6 @@ let resolve_gen ~ro st config t =
          update message never promotes itself onto the root — it must
          end its climb by delivering +2 there. *)
       let p = st.cluster1 and g = st.cluster2 in
-      let delta_phi =
-        if ro then Potential.delta_double_promote_ro t x
-        else Potential.delta_double_promote t x
-      in
       let rotate =
         delta_phi < -.config.Config.delta && not (dst = T.nil && T.is_root t g)
       in
@@ -254,10 +268,6 @@ let resolve_gen ~ro st config t =
   | Td_zig ->
       (* One level left: zig boundary case promoting the destination. *)
       let y = st.cluster1 in
-      let delta_phi =
-        if ro then Potential.delta_promote_ro t y
-        else Potential.delta_promote t y
-      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -270,10 +280,6 @@ let resolve_gen ~ro st config t =
       (* Semi zig-zig: promote y over x; the path below is pulled one
          level up and the message lands on z. *)
       let y = st.cluster1 and z = st.cluster2 in
-      let delta_phi =
-        if ro then Potential.delta_promote_ro t y
-        else Potential.delta_promote t y
-      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -286,10 +292,6 @@ let resolve_gen ~ro st config t =
       (* Semi zig-zag: double-promote z to x's old position; y and x
          drop off the remaining path and the message lands on z. *)
       let y = st.cluster1 and z = st.cluster2 in
-      let delta_phi =
-        if ro then Potential.delta_double_promote_ro t z
-        else Potential.delta_double_promote t z
-      in
       let rotate = delta_phi < -.config.Config.delta in
       st.dphi.v <- delta_phi;
       st.rotate <- rotate;
@@ -302,8 +304,12 @@ let resolve_gen ~ro st config t =
       end
       else set_passed st y z
 
-let resolve_into st config t = resolve_gen ~ro:false st config t
-let resolve_ro_into st config t = resolve_gen ~ro:true st config t
+let resolve_into st config t =
+  resolve_with st config t ~delta_phi:(probe_dphi st t)
+
+(* effect: wave -- resolves from the read-only ΔΦ twin *)
+let resolve_ro_into st config t =
+  resolve_with st config t ~delta_phi:(probe_dphi_ro st t)
 (* lint: hot-end *)
 
 let plan_up_into st config t ~current ~dst =

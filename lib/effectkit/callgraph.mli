@@ -1,0 +1,29 @@
+(** Module-qualified call graph over the lib/ tree.
+
+    One {!Summary.info} per value binding, with direct write facts and
+    calls resolved to canonical in-tree names ([Cbnet.Step.cluster]),
+    classified externals, or {!Summary.Unknown}.  Files that fail to
+    parse are skipped (the per-file lint already reports them); calls
+    into them resolve as [Unknown]. *)
+
+type t = {
+  funs : (string, Summary.info) Hashtbl.t;
+  order : string list;  (** canonical names, deterministic input order *)
+  mods : (string, string) Hashtbl.t;  (** canonical module -> file *)
+  libs : (string, unit) Hashtbl.t;  (** library wrapper names present *)
+  errors : Lintkit.Finding.t list;
+      (** malformed or unattached [(* effect: ... *)] annotations,
+          reported under the lint-directive rule *)
+}
+
+val build : (string * Lintkit.Source.t) list -> t
+(** Build the graph from [(repo-relative path, source)] pairs.
+    Non-[lib/<dir>/<file>.ml] inputs are ignored. *)
+
+val lib_file : string -> bool
+(** Is this path part of the analysis scope ([lib/<dir>/<file>.ml])? *)
+
+val annotation_of_text : string -> (Summary.requirement, string) result option
+(** Parse one comment body as an effect annotation: [None] for an
+    ordinary comment, [Some (Error _)] for a malformed one.  Exposed
+    for tests. *)

@@ -137,22 +137,45 @@ type outcome = {
   stale : string list;  (* baseline entries whose finding is gone *)
 }
 
+type pass =
+  enabled:(string -> bool) -> (string * Source.t) list -> Finding.t list
+
 let clean o =
   List.is_empty o.findings && List.is_empty o.stale
 
-let run ?(enabled = fun _ -> true) ?baseline paths =
+(* Tree passes see every loaded source at once (interprocedural
+   analyses need the whole map); their findings go through the same
+   per-line allow-comment suppression as the per-file rules. *)
+let run_passes ~enabled passes sources =
+  let raw = List.concat_map (fun p -> p ~enabled sources) passes in
+  List.partition
+    (fun (f : Finding.t) ->
+      match List.assoc_opt f.Finding.file sources with
+      | Some src ->
+          not (Source.allowed src ~line:f.Finding.line ~rule:f.Finding.rule)
+      | None -> true)
+    raw
+
+let run ?(enabled = fun _ -> true) ?(passes = []) ?baseline paths =
   let files = discover paths in
+  let sources =
+    List.map
+      (fun relpath -> (relpath, Source.load ~known:Rules.known relpath))
+      files
+  in
   let all, suppressed =
     List.fold_left
-      (fun (acc, supp) relpath ->
-        let src = Source.load ~known:Rules.known relpath in
+      (fun (acc, supp) (relpath, src) ->
         let mli_exists =
           (not (is_ml relpath)) || Sys.file_exists (relpath ^ "i")
         in
         let kept, s = lint_source ~enabled ~relpath ~mli_exists src in
         (List.rev_append kept acc, supp + s))
-      ([], 0) files
+      ([], 0) sources
   in
+  let pass_kept, pass_suppressed = run_passes ~enabled passes sources in
+  let all = List.rev_append pass_kept all in
+  let suppressed = suppressed + List.length pass_suppressed in
   let base = match baseline with Some b -> b | None -> Baseline.empty () in
   let kept, baselined =
     List.partition (fun f -> not (Baseline.matches base (Finding.key f))) all
@@ -164,3 +187,24 @@ let run ?(enabled = fun _ -> true) ?baseline paths =
     baselined = List.length baselined;
     stale = Baseline.stale base;
   }
+
+(* In-memory twin of {!run} for multi-file + pass fixtures in tests:
+   no discovery, no baseline. *)
+let lint_strings ~enabled ?(passes = []) files =
+  let sources =
+    List.map
+      (fun (path, code) ->
+        let relpath = normalize path in
+        (relpath, Source.of_string ~known:Rules.known ~path:relpath code))
+      files
+  in
+  let all, suppressed =
+    List.fold_left
+      (fun (acc, supp) (relpath, src) ->
+        let kept, s = lint_source ~enabled ~relpath ~mli_exists:true src in
+        (List.rev_append kept acc, supp + s))
+      ([], 0) sources
+  in
+  let pass_kept, pass_suppressed = run_passes ~enabled passes sources in
+  let all = List.rev_append pass_kept all in
+  (List.sort Finding.compare all, suppressed + List.length pass_suppressed)

@@ -36,7 +36,27 @@ type outcome = {
 val clean : outcome -> bool
 (** No findings and no stale baseline entries. *)
 
+type pass =
+  enabled:(string -> bool) -> (string * Source.t) list -> Finding.t list
+(** A tree-wide pass: sees every loaded [(relpath, source)] pair at
+    once, so interprocedural analyses (lib/effectkit) can plug in.
+    Pass findings go through the same allow-comment suppression and
+    baseline ratchet as the per-file rules. *)
+
 val run :
-  ?enabled:(string -> bool) -> ?baseline:Baseline.t -> string list -> outcome
+  ?enabled:(string -> bool) ->
+  ?passes:pass list ->
+  ?baseline:Baseline.t ->
+  string list ->
+  outcome
 (** Lint every file under the given paths.  [enabled] toggles rules by
     id (default: all on). *)
+
+val lint_strings :
+  enabled:(string -> bool) ->
+  ?passes:pass list ->
+  (string * string) list ->
+  Finding.t list * int
+(** In-memory twin of {!run} over [(path, code)] fixtures: no
+    discovery, no baseline.  Returns kept findings (sorted) and the
+    suppressed count.  Test entry point for multi-file passes. *)

@@ -22,6 +22,16 @@ let all =
     ("no-stdout", "printing to stdout from lib/ (use Obskit or Runtime.Export)");
     ("mli-coverage", "lib/ module without an interface file");
     ("whitespace", "tab characters or trailing whitespace");
+    (* The three effectkit rules (interprocedural; implemented as an
+       engine pass in lib/effectkit, plugged in by bin/cbnet_lint). *)
+    ( "effect-pure",
+      "(* effect: pure *) function with a transitive write, \
+       nondeterminism, or an unknown callee" );
+    ( "wave-race",
+      "plan-wave code writing outside the wave-local/claim allowlist" );
+    ( "determinism",
+      "clock/RNG/poly-hash/domain-identity source in lib/core, lib/bstnet \
+       or lib/forest" );
   ]
 
 let known rule = List.exists (fun (r, _) -> String.equal r rule) all

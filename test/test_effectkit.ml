@@ -1,0 +1,325 @@
+(* The effect analysis: per-rule violating and clean fixtures, the
+   least fixpoint over mutual recursion, unknown-callee conservatism,
+   module-scoped wave allowlisting, annotation errors, suppression
+   through the engine, and the seeded-mutation catch over the real
+   lib/ tree (which the (source_tree ../lib) dep makes visible to this
+   binary).  Fixtures live in strings so the lint run over test/
+   never trips on them. *)
+
+module A = Effectkit.Analyze
+module C = Effectkit.Callgraph
+module E = Lintkit.Engine
+module F = Lintkit.Finding
+
+let rules findings = List.map (fun f -> f.F.rule) findings
+
+let check_rules label expected findings =
+  Alcotest.(check (list string)) label expected (rules findings)
+
+let analyze files = A.analyze_strings files
+
+let one ?(path = "lib/core/fixture.ml") code = analyze [ (path, code) ]
+
+(* --- effect-pure --------------------------------------------------- *)
+
+let test_pure () =
+  check_rules "ref write in a pure function" [ A.rule_pure ]
+    (one "(* effect: pure *)\nlet f r = r := 1\n");
+  check_rules "field write in a pure function" [ A.rule_pure ]
+    (one "(* effect: pure *)\nlet f st = st.weight <- 1\n");
+  check_rules "array write in a pure function" [ A.rule_pure ]
+    (one "(* effect: pure *)\nlet f a = a.(0) <- 1\n");
+  check_rules "impure external in a pure function" [ A.rule_pure ]
+    (one "(* effect: pure *)\nlet f tbl k = Hashtbl.replace tbl k 0\n");
+  check_rules "arithmetic stays clean" []
+    (one "(* effect: pure *)\nlet f x = (x * 2) + 1\n");
+  check_rules "array read stays clean" []
+    (one "(* effect: pure *)\nlet f a i = a.(i) + 1\n");
+  check_rules "local ref inside an unannotated caller is its business" []
+    (one "let f x = x + 1\n\nlet g r = r := 1\n")
+
+let test_pure_transitive () =
+  (* The write sits two calls away; the annotated root is blamed at
+     its own call site, with the chain in the message. *)
+  let fs =
+    one
+      "let sink st = st.weight <- 1\n\
+       let middle st = sink st\n\
+       (* effect: pure *)\n\
+       let root st = middle st\n"
+  in
+  check_rules "transitive write reaches the annotated root" [ A.rule_pure ] fs;
+  let f = List.hd fs in
+  Alcotest.(check string) "blamed file" "lib/core/fixture.ml" f.F.file;
+  Alcotest.(check int) "blamed at the root's call site" 4 f.F.line
+
+let test_fixpoint_mutual_recursion () =
+  (* even/odd form a cycle; the fixpoint must terminate and carry
+     even's write around it to the annotated caller. *)
+  check_rules "cycle propagates the write" [ A.rule_pure ]
+    (one
+       "let rec even n tbl =\n\
+       \  if n = 0 then true\n\
+       \  else begin Hashtbl.replace tbl n true; odd (n - 1) tbl end\n\
+       and odd n tbl = if n = 0 then false else even (n - 1) tbl\n\
+       (* effect: pure *)\n\
+       let check tbl = even 4 tbl\n");
+  check_rules "clean cycle stays clean" []
+    (one
+       "let rec even n = if n = 0 then true else odd (n - 1)\n\
+        and odd n = if n = 0 then false else even (n - 1)\n\
+        (* effect: pure *)\n\
+        let check () = even 4\n")
+
+let test_unknown_callee () =
+  (* A module the graph has never seen must not be assumed pure. *)
+  let fs = one "(* effect: pure *)\nlet f x = Mystery.fn x\n" in
+  check_rules "unknown callee is conservative" [ A.rule_pure ] fs;
+  let msg = (List.hd fs).F.message in
+  Alcotest.(check bool) "message says unknown" true
+    (let re = Str.regexp_string "unknown" in
+     try
+       ignore (Str.search_forward re msg 0);
+       true
+     with Not_found -> false)
+
+let test_required_callee_frontier () =
+  (* A dirty pure-annotated helper is blamed once, at the frontier:
+     its annotated callers trust the annotation instead of repeating
+     the finding. *)
+  let fs =
+    one
+      "(* effect: pure *)\n\
+       let helper st = st.weight <- 1\n\
+       (* effect: pure *)\n\
+       let caller st = helper st\n"
+  in
+  check_rules "one finding at the frontier" [ A.rule_pure ] fs;
+  Alcotest.(check int) "blamed on the helper" 2 (List.hd fs).F.line
+
+(* --- wave-race ----------------------------------------------------- *)
+
+let test_wave () =
+  check_rules "non-allowlisted write from the wave" [ A.rule_wave ]
+    (one "(* effect: wave *)\nlet f st = st.weight <- 1\n");
+  check_rules "allowlisted plan-buffer write is wave-local" []
+    (one ~path:"lib/core/step.ml"
+       "(* effect: wave *)\nlet f st = st.current <- 0\n");
+  check_rules "allowlisted slot write is wave-local" []
+    (one ~path:"lib/core/concurrent.ml"
+       "(* effect: wave *)\nlet wave_go slot = slot.tag <- 1\n");
+  (* The allowlist is module-scoped: Concurrent's slot fields are not
+     writable from other modules. *)
+  check_rules "slot field from the wrong module" [ A.rule_wave ]
+    (one "(* effect: wave *)\nlet f slot = slot.tag <- 1\n");
+  check_rules "nondeterminism banned in the wave" [ A.rule_wave ]
+    (one ~path:"lib/simkit/fixture.ml"
+       "(* effect: wave *)\nlet f () = Unix.gettimeofday ()\n")
+
+let test_implicit_ro_seeding () =
+  (* _ro names keep their read-only contract even with no annotation:
+     deleting the comment cannot dodge the check. *)
+  check_rules "suffix _ro is seeded" [ A.rule_wave ]
+    (one "let probe_ro st = st.weight <- 1\n");
+  check_rules "infix _ro_ is seeded" [ A.rule_wave ]
+    (one "let resolve_ro_into st = st.weight <- 1\n");
+  check_rules "speculation probe is seeded" [ A.rule_wave ]
+    (one "let speculate_turn_probe st = st.weight <- 1\n");
+  check_rules "plain name is not seeded" []
+    (one "let resolve_into st = st.weight <- 1\n")
+
+let test_wave_anchor () =
+  (* The real Concurrent module must declare its wave roots; a
+     fixture that drops them all is itself a finding. *)
+  check_rules "anchor module without wave roots" [ A.rule_wave ]
+    (one ~path:"lib/core/concurrent.ml" "let commit st = st.x <- 1\n");
+  check_rules "anchor module with a wave root" []
+    (one ~path:"lib/core/concurrent.ml"
+       "(* effect: wave *)\nlet wave_member slot = slot.tag <- 1\n");
+  check_rules "other modules carry no anchor duty" []
+    (one "let commit st = ignore st\n")
+
+(* --- determinism --------------------------------------------------- *)
+
+let test_determinism () =
+  check_rules "wall clock in lib/core" [ A.rule_det ]
+    (one "let now () = Unix.gettimeofday ()\n");
+  check_rules "self-seeded RNG in lib/bstnet" [ A.rule_det ]
+    (one ~path:"lib/bstnet/fixture.ml" "let seed () = Random.self_init ()\n");
+  check_rules "polymorphic hash as data in lib/forest" [ A.rule_det ]
+    (one ~path:"lib/forest/fixture.ml" "let h x = Hashtbl.hash x\n");
+  check_rules "domain identity as data in lib/core" [ A.rule_det ]
+    (one "let me () = Domain.self ()\n");
+  check_rules "wall clock outside the scope" []
+    (one ~path:"lib/obskit/fixture.ml" "let now () = Unix.gettimeofday ()\n");
+  check_rules "deterministic code in scope" []
+    (one "let f x = x + 1\n")
+
+(* --- annotations --------------------------------------------------- *)
+
+let test_annotation_errors () =
+  let directive = E.meta_directive in
+  check_rules "unknown effect kind" [ directive ]
+    (one "(* effect: bogus *)\nlet f x = x\n");
+  check_rules "empty effect annotation" [ directive ]
+    (one "(* effect: *)\nlet f x = x\n");
+  check_rules "unattached annotation" [ directive ]
+    (one "(* effect: pure *)\n\ntype t = int\n");
+  check_rules "justification after the separator is fine" []
+    (one "(* effect: wave -- writes nothing at all *)\nlet f x = x\n");
+  Alcotest.(check bool) "parser accepts pure" true
+    (match C.annotation_of_text " effect: pure " with
+    | Some (Ok Effectkit.Summary.Pure) -> true
+    | _ -> false);
+  Alcotest.(check bool) "ordinary comments are not annotations" true
+    (Option.is_none (C.annotation_of_text " plain old comment "))
+
+(* --- engine integration -------------------------------------------- *)
+
+let test_suppression () =
+  let run code =
+    E.lint_strings
+      ~enabled:(fun _ -> true)
+      ~passes:[ A.pass ]
+      [ ("lib/core/fixture.ml", code) ]
+  in
+  let findings, suppressed =
+    run
+      "(* effect: pure *)\n\
+       let f r = r := 1 (* lint: allow effect-pure -- fixture *)\n"
+  in
+  check_rules "allow comment suppresses the finding" [] findings;
+  Alcotest.(check int) "and counts it" 1 suppressed;
+  let findings, suppressed = run "(* effect: pure *)\nlet f r = r := 1\n" in
+  check_rules "unsuppressed finding survives the engine" [ A.rule_pure ]
+    findings;
+  Alcotest.(check int) "nothing suppressed" 0 suppressed
+
+let test_rule_toggles () =
+  let findings, _ =
+    E.lint_strings
+      ~enabled:(fun r -> not (String.equal r A.rule_pure))
+      ~passes:[ A.pass ]
+      [ ("lib/core/fixture.ml", "(* effect: pure *)\nlet f r = r := 1\n") ]
+  in
+  check_rules "disabled rule reports nothing" [] findings
+
+(* --- the real tree ------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc name ->
+      let path = Filename.concat dir name in
+      if Sys.is_directory path then walk path acc
+      else if Filename.check_suffix path ".ml" then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+(* Under `dune runtest` the binary runs in _build/default/test/, where
+   the source_tree dep materializes ../lib; under `dune exec` from the
+   repo root, lib/ is right here. *)
+let lib_root () =
+  if Sys.file_exists "../lib" && Sys.is_directory "../lib" then "../lib"
+  else "lib"
+
+let lib_sources () =
+  let root = lib_root () in
+  let files = List.sort String.compare (walk root []) in
+  Alcotest.(check bool) "found the lib tree" true (List.length files > 20);
+  List.map
+    (fun path ->
+      (* ../lib/core/step.ml -> lib/core/step.ml *)
+      let rel =
+        if String.length path > 3 && String.equal (String.sub path 0 3) "../"
+        then String.sub path 3 (String.length path - 3)
+        else path
+      in
+      (rel, read_file path))
+    files
+
+let mutation_marker = "  if r >= 0.0 then r else rank (T.weight t v)"
+
+let mutation_body =
+  "  if r >= 0.0 then r\n\
+  \  else begin\n\
+  \    let r = rank (T.weight t v) in\n\
+  \    T.set_rank_memo t v r;\n\
+  \    r\n\
+  \  end"
+
+let test_real_tree_clean () =
+  check_rules "the shipped lib/ tree carries no effect findings" []
+    (analyze (lib_sources ()))
+
+let test_seeded_mutation () =
+  (* Injecting a single memo write into the node_rank_ro twin must
+     produce exactly one finding, on that function. *)
+  let mutated = ref false in
+  let files =
+    List.map
+      (fun (path, code) ->
+        if String.equal path "lib/core/potential.ml" then begin
+          let re = Str.regexp_string mutation_marker in
+          (try ignore (Str.search_forward re code 0)
+           with Not_found ->
+             Alcotest.fail
+               "mutation marker not found in lib/core/potential.ml — keep \
+                test_effectkit.ml's marker in sync with node_rank_ro");
+          mutated := true;
+          (path, Str.replace_first re mutation_body code)
+        end
+        else (path, code))
+      (lib_sources ())
+  in
+  Alcotest.(check bool) "potential.ml was in the tree" true !mutated;
+  match analyze files with
+  | [ f ] ->
+      Alcotest.(check string) "rule" A.rule_pure f.F.rule;
+      Alcotest.(check string) "file" "lib/core/potential.ml" f.F.file
+  | fs ->
+      Alcotest.failf "expected exactly one finding, got %d:\n%s"
+        (List.length fs)
+        (String.concat "\n" (List.map F.to_string fs))
+
+let () =
+  Alcotest.run "effectkit"
+    [
+      ( "effect-pure",
+        [
+          Alcotest.test_case "direct writes" `Quick test_pure;
+          Alcotest.test_case "transitive blame" `Quick test_pure_transitive;
+          Alcotest.test_case "mutual recursion fixpoint" `Quick
+            test_fixpoint_mutual_recursion;
+          Alcotest.test_case "unknown callee" `Quick test_unknown_callee;
+          Alcotest.test_case "frontier blame" `Quick
+            test_required_callee_frontier;
+        ] );
+      ( "wave-race",
+        [
+          Alcotest.test_case "allowlist" `Quick test_wave;
+          Alcotest.test_case "implicit _ro seeding" `Quick
+            test_implicit_ro_seeding;
+          Alcotest.test_case "anchor module" `Quick test_wave_anchor;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "banned sources" `Quick test_determinism ] );
+      ( "annotations",
+        [ Alcotest.test_case "errors" `Quick test_annotation_errors ] );
+      ( "engine",
+        [
+          Alcotest.test_case "suppression" `Quick test_suppression;
+          Alcotest.test_case "rule toggles" `Quick test_rule_toggles;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "clean" `Quick test_real_tree_clean;
+          Alcotest.test_case "seeded mutation" `Quick test_seeded_mutation;
+        ] );
+    ]
