@@ -30,6 +30,14 @@
    1-domain figure — is blocking only when the NEW host has >= 4
    cores.  Everything else prints as "warn" and does not fail CI.
 
+   --serve diffs two serve_json artifacts (bench serve-smoke): rows
+   match by shape label, and the report shows sustained rounds/sec,
+   shed counts and queue-depth quantiles side by side.  Purely
+   advisory — serve throughput mixes executor speed with shape
+   arithmetic and shed behaviour shifts legitimately with policy
+   changes — so the step reports trends and exits 0 unless an input
+   is unreadable (exit 2).
+
    --forest compares two forest_json artifacts (bench forest-smoke /
    forest-scaling) the same way: rows match by (workload, n, shards,
    domains), a rounds/sec drop beyond the threshold is blocking only
@@ -422,6 +430,67 @@ let compare_forest ~threshold old_path new_path =
   Printf.printf "compared %d forest rows, %d failure(s)\n" !compared !failures;
   !failures
 
+(* One serve_json row (Runtime.Export.serve_json), reduced to what
+   the advisory diff needs. *)
+type srow = {
+  sshape : string;
+  srps : float option;
+  sshed : float option;
+  sq_p95 : float option;
+}
+
+let serve_of_file path =
+  let root = read_json path in
+  match field root "rows" with
+  | Some (List rs) ->
+      List.filter_map
+        (fun r ->
+          match str_field r "shape" with
+          | Some sshape ->
+              Some
+                {
+                  sshape;
+                  srps = num_field r "rounds_per_sec";
+                  sshed = num_field r "shed";
+                  sq_p95 = num_field r "q_p95";
+                }
+          | None -> None)
+        rs
+  | _ -> raise (Parse_error "no \"rows\" array")
+
+(* The --serve advisory report: never blocking, always exit 0 on
+   readable inputs. *)
+let compare_serve old_path new_path =
+  let old_rows = serve_of_file old_path in
+  let new_rows = serve_of_file new_path in
+  let show = function Some f -> Printf.sprintf "%.0f" f | None -> "-" in
+  List.iter
+    (fun (o : srow) ->
+      match
+        List.find_opt (fun (r : srow) -> r.sshape = o.sshape) new_rows
+      with
+      | None -> Printf.printf "SKIP  %-24s only in %s\n" o.sshape old_path
+      | Some nw -> (
+          (match (o.sshed, nw.sshed) with
+          | Some a, Some b when a <> b ->
+              Printf.printf "info  %-24s shed %s -> %s, q_p95 %s -> %s\n"
+                o.sshape (show o.sshed) (show nw.sshed) (show o.sq_p95)
+                (show nw.sq_p95)
+          | _ -> ());
+          match (o.srps, nw.srps) with
+          | Some orps, Some nrps when orps > 0.0 ->
+              Printf.printf "info  %-24s rounds/s %12.0f -> %12.0f  %+6.1f%%\n"
+                o.sshape orps nrps
+                ((nrps -. orps) /. orps *. 100.0)
+          | _ -> Printf.printf "SKIP  %-24s rounds_per_sec missing\n" o.sshape))
+    old_rows;
+  List.iter
+    (fun (r : srow) ->
+      if not (List.exists (fun (o : srow) -> o.sshape = r.sshape) old_rows)
+      then Printf.printf "NEW   %-24s only in %s\n" r.sshape new_path)
+    new_rows;
+  Printf.printf "serve diff is advisory; not gating\n"
+
 (* One profile_json artifact (Runtime.Export.profile_json), reduced
    to what the advisory diff needs. *)
 type prof = {
@@ -502,6 +571,7 @@ let () =
   let scaling = ref false in
   let forest = ref false in
   let profile = ref false in
+  let serve = ref false in
   let files = ref [] in
   let positive_float flag v =
     match float_of_string_opt v with
@@ -527,6 +597,9 @@ let () =
     | "--profile" :: rest ->
         profile := true;
         parse_args rest
+    | "--serve" :: rest ->
+        serve := true;
+        parse_args rest
     | a :: rest ->
         files := a :: !files;
         parse_args rest
@@ -536,6 +609,17 @@ let () =
   | [ old_path; new_path ] when !profile -> (
       try
         compare_profile old_path new_path;
+        exit 0
+      with
+      | Parse_error msg ->
+          Printf.eprintf "compare_bench: parse error: %s\n" msg;
+          exit 2
+      | Sys_error msg ->
+          Printf.eprintf "compare_bench: %s\n" msg;
+          exit 2)
+  | [ old_path; new_path ] when !serve -> (
+      try
+        compare_serve old_path new_path;
         exit 0
       with
       | Parse_error msg ->
@@ -629,5 +713,6 @@ let () =
          PCT] [--min-speedup X]\n\
         \       compare_bench --forest BASELINE.json NEW.json [--threshold \
          PCT]\n\
-        \       compare_bench --profile BASELINE.json NEW.json";
+        \       compare_bench --profile BASELINE.json NEW.json\n\
+        \       compare_bench --serve BASELINE.json NEW.json";
       exit 2

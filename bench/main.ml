@@ -658,6 +658,134 @@ let forest_scaling (options : Runtime.Figures.options) json fmt =
       ]
     ~seed:options.Runtime.Figures.base_seed json fmt
 
+(* CI smoke for the serve loop: shaped streams through
+   Servekit.Server.replay, one cell per load-shape kind.  Three
+   correctness gates ride along and raise on violation: every cell
+   replayed twice must be bit-identical (report text and final tree),
+   the fixed shape with an unbounded batch and decay off must
+   reproduce Concurrent.run exactly (the batch oracle), and the
+   flash-crowd queue must never exceed its cap. *)
+let serve_smoke (options : Runtime.Figures.options) json fmt =
+  let seed = options.Runtime.Figures.base_seed in
+  let reps = 2 in
+  (* (shape spec, queue cap, batch_max, decay cadence) *)
+  let cells =
+    [
+      ("fixed:pfabric:n=128,m=4000", 4_096, 0, None);
+      ("rampup:skewed:n=128,m=3000,peak=8", 1_024, 256, Some (400, 0.25));
+      ( "pausing:zipf:n=128,m=3000,rate=12,on=40,off=160",
+        1_024,
+        256,
+        Some (400, 0.25) );
+      ("shaped:uniform:n=128,m=3000,seg=100x2+30x90+100x2", 256, 256, None);
+    ]
+  in
+  Format.fprintf fmt
+    "== SERVE-SMOKE: shaped streams through the serve loop (seed=%d, \
+     reps=%d) ==@."
+    seed reps;
+  let rows =
+    List.map
+      (fun (spec, cap, batch_max, decay) ->
+        let shape =
+          match Workloads.Shape.of_string spec with
+          | Ok s -> s
+          | Error e -> failwith (Printf.sprintf "serve-smoke: %s: %s" spec e)
+        in
+        let trace = Workloads.Shape.schedule shape ~seed in
+        let schedule = Workloads.Trace.to_runs trace in
+        let n = trace.Workloads.Trace.n in
+        let cfg = Servekit.Server.config ~queue_capacity:cap ~batch_max ~n () in
+        let run () =
+          let tree = Bstnet.Build.balanced n in
+          let epoch =
+            match decay with
+            | None -> Servekit.Epoch.disabled ()
+            | Some (every, factor) ->
+                Servekit.Epoch.create ~every_rounds:every ~factor ()
+          in
+          let t0 = Unix.gettimeofday () in
+          let report = Servekit.Server.replay ~epoch cfg tree schedule in
+          let wall = Unix.gettimeofday () -. t0 in
+          (report, Bstnet.Serialize.to_string tree, wall)
+        in
+        let runs = List.init reps (fun _ -> run ()) in
+        let (r : Servekit.Server.report), tree0, _ = List.hd runs in
+        let wall =
+          List.fold_left
+            (fun acc (_, _, w) -> Float.min acc w)
+            infinity runs
+        in
+        (* Gate 1: replay determinism — identical report and tree. *)
+        List.iter
+          (fun ((r' : Servekit.Server.report), tree', _) ->
+            let show x = Format.asprintf "%a" Servekit.Server.pp_report x in
+            if show r' <> show r || tree' <> tree0 then
+              failwith
+                (Printf.sprintf "serve-smoke: %s: replay not bit-identical"
+                   spec))
+          (List.tl runs);
+        (* Gate 2: batch oracle — the fixed shape with one unbounded
+           batch and no decay is Concurrent.run verbatim. *)
+        (match shape.Workloads.Shape.kind with
+        | Workloads.Shape.Fixed when batch_max = 0 && decay = None ->
+            let oracle =
+              Cbnet.Concurrent.run (Bstnet.Build.balanced n) schedule
+            in
+            if r.Servekit.Server.stats <> oracle then
+              failwith
+                (Printf.sprintf
+                   "serve-smoke: %s: serve stats diverge from the batch \
+                    oracle"
+                   spec)
+        | _ -> ());
+        (* Gate 3: back-pressure stays bounded. *)
+        if r.Servekit.Server.max_queue_depth > cap then
+          failwith
+            (Printf.sprintf "serve-smoke: %s: queue depth %d exceeds cap %d"
+               spec r.Servekit.Server.max_queue_depth cap);
+        let stats = r.Servekit.Server.stats in
+        Format.fprintf fmt
+          "%-24s n=%-4d seen=%-5d shed=%-5d batches=%-3d decays=%-2d \
+           busy=%-6d idle=%-6d q_max=%-5d wall=%.3fs@."
+          (Workloads.Shape.label shape)
+          n r.Servekit.Server.seen r.Servekit.Server.shed
+          r.Servekit.Server.batches r.Servekit.Server.decays
+          r.Servekit.Server.busy_rounds r.Servekit.Server.idle_rounds
+          r.Servekit.Server.max_queue_depth wall;
+        let q = r.Servekit.Server.queue_depth in
+        ({
+           shape = Workloads.Shape.label shape;
+           n;
+           seed;
+           requests = r.Servekit.Server.seen;
+           admitted = r.Servekit.Server.admitted;
+           shed = r.Servekit.Server.shed;
+           batches = r.Servekit.Server.batches;
+           decays = r.Servekit.Server.decays;
+           busy_rounds = r.Servekit.Server.busy_rounds;
+           idle_rounds = r.Servekit.Server.idle_rounds;
+           messages = stats.Cbnet.Run_stats.messages;
+           makespan = stats.Cbnet.Run_stats.makespan;
+           q_max = r.Servekit.Server.max_queue_depth;
+           q_p50 = Profkit.Histogram.p50 q;
+           q_p95 = Profkit.Histogram.p95 q;
+           q_p99 = Profkit.Histogram.p99 q;
+           wall_seconds = wall;
+         }
+          : Runtime.Export.serve_row))
+      cells
+  in
+  Format.fprintf fmt
+    "replays bit-identical; fixed shape matches the batch oracle; queues \
+     stayed under their caps@.";
+  match json with
+  | Some path ->
+      Runtime.Export.serve_json ~commit:(detect_commit ())
+        ~timestamp:(iso8601_now ()) rows path;
+      Format.fprintf fmt "wrote %d serve rows to %s@." (List.length rows) path
+  | None -> ()
+
 (* The fault plans of the chaos sweep: one stressor per fault family
    plus a kitchen-sink mix.  Rates are low enough that every run still
    drains well inside the round budget; the plan text (printed and
@@ -760,7 +888,7 @@ let usage =
    [--check-invariants] [--mode ARTIFACT] [ARTIFACT ...]\n\
    artifacts: fig2 fig3 fig4 thm1 thm2 ablation timeline latency trace-map \
    micro bench-smoke overhead-check perf perf-scaling forest-smoke \
-   forest-scaling chaos\n\
+   forest-scaling serve-smoke chaos\n\
    (no artifact: reproduce everything; bench-smoke: tiny-scale matrix for CI,\n\
   \ best combined with --json; --mode NAME is an alias for naming NAME)\n\
    --jobs N parallelizes seed runs over N domains (default: CBNET_JOBS, else\n\
@@ -939,6 +1067,7 @@ let () =
           perf_scaling scaling_options !json fmt );
       ("forest-smoke", fun () -> forest_smoke options !json fmt);
       ("forest-scaling", fun () -> forest_scaling options !json fmt);
+      ("serve-smoke", fun () -> serve_smoke options !json fmt);
     ]
   in
   (* Validate every artifact name before running anything: CI must
@@ -956,9 +1085,10 @@ let () =
       not
         (List.mem "bench-smoke" names || List.mem "perf" names
         || List.mem "perf-scaling" names || List.mem "forest-smoke" names
-        || List.mem "forest-scaling" names || List.mem "chaos" names) ->
-      (* bench-smoke, perf, perf-scaling, the forest sweeps and chaos
-         write the JSON themselves. *)
+        || List.mem "forest-scaling" names || List.mem "serve-smoke" names
+        || List.mem "chaos" names) ->
+      (* bench-smoke, perf, perf-scaling, the forest sweeps,
+         serve-smoke and chaos write the JSON themselves. *)
       export_json ~sink options path
   | _ -> ());
   (match names with

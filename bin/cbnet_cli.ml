@@ -301,6 +301,304 @@ let matrix_cmd =
   in
   Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ out_arg $ options_term)
 
+(* --- serve: the streaming service mode (docs/SERVING.md) ----------- *)
+
+let tcp_listener port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 16;
+  fd
+
+let unix_listener path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let serve_cmd =
+  let doc =
+    "Long-running service mode: stream (src, dst) requests into the \
+     concurrent executor with bounded-queue back-pressure, counter-reset \
+     epochs and live metrics."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Requests arrive as protocol lines ($(b,src,dst) per line; see \
+         docs/SERVING.md) on stdin, a TCP port or a Unix-domain socket, or \
+         from a load shape replayed deterministically with $(b,--replay).  \
+         Arrivals are batched into rounds for the Cbnet.Concurrent \
+         executor; a full ingest queue sheds or parks according to \
+         $(b,--on-full); $(b,--decay-every)/$(b,--decay-secs) roll \
+         counter-reset epochs so the weights track recent demand.";
+      `P ("Shape grammar: " ^ Workloads.Shape.grammar);
+    ]
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SHAPE"
+          ~doc:
+            "Replay a load shape under the virtual clock (deterministic per \
+             $(b,--seed)) instead of reading live input.")
+  in
+  let stdin_arg =
+    Arg.(value & flag & info [ "stdin" ] ~doc:"Read protocol lines from stdin.")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:"Accept line-protocol connections on 127.0.0.1:$(docv).")
+  in
+  let unix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "unix" ] ~docv:"PATH"
+          ~doc:
+            "Accept line-protocol connections on a Unix-domain socket at \
+             $(docv) (mutually exclusive with $(b,--listen)).")
+  in
+  let metrics_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Serve GET /metrics (Prometheus text exposition) on \
+             127.0.0.1:$(docv).")
+  in
+  let n_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "n"; "nodes" ]
+          ~doc:
+            "Nodes of the served tree in live mode (replay takes it from \
+             the shape).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "queue-cap" ]
+          ~doc:"Ingest queue capacity (the back-pressure bound).")
+  in
+  let on_full_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("shed", Servekit.Server.Shed); ("park", Servekit.Server.Park) ])
+          Servekit.Server.Shed
+      & info [ "on-full" ]
+          ~doc:
+            "Full-queue policy: $(b,shed) drops (and counts) arrivals, \
+             $(b,park) stops reading so pressure reaches the sender.")
+  in
+  let batch_max_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "batch-max" ]
+          ~doc:"Max requests per executor batch (0 = unbounded).")
+  in
+  let batch_min_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "batch-min" ]
+          ~doc:"Wait for this many queued requests before batching.")
+  in
+  let decay_every_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "decay-every" ] ~docv:"ROUNDS"
+          ~doc:"Roll a counter-reset epoch every $(docv) clock rounds.")
+  in
+  let decay_secs_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "decay-secs" ] ~docv:"SECS"
+          ~doc:
+            "Roll a counter-reset epoch every $(docv) seconds of wall time \
+             (under $(b,--virtual-clock): microseconds-as-rounds).")
+  in
+  let decay_factor_arg =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "decay-factor" ]
+          ~doc:"Counter decay factor in [0, 1); 0 forgets everything.")
+  in
+  let virtual_clock_arg =
+    Arg.(
+      value & flag
+      & info [ "virtual-clock" ]
+          ~doc:
+            "Deterministic round-based clock (replay always uses it; in \
+             live mode it makes pipe-driven runs reproducible).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the final report as a serve JSON row to $(docv).")
+  in
+  let report_every_arg =
+    Arg.(
+      value
+      & opt int 50
+      & info [ "report-every" ]
+          ~doc:"Status line to stderr every that many batches (0 = never).")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ]
+          ~doc:"Executor admission window (default: max 64 n).")
+  in
+  let run replay use_stdin listen_port unix_path metrics_port n queue_capacity
+      policy batch_max batch_min decay_every decay_secs decay_factor
+      virtual_clock out report_every window check_invariants domains seed =
+    let domains = resolve_domains domains in
+    let epoch =
+      match (decay_every, decay_secs) with
+      | None, None -> Servekit.Epoch.disabled ()
+      | every_rounds, secs ->
+          Servekit.Epoch.create ?every_rounds
+            ?every_us:(Option.map (fun s -> s *. 1e6) secs)
+            ~factor:decay_factor ()
+    in
+    let registry = Simkit.Metrics.create () in
+    let status line = Format.eprintf "%s@." line in
+    let emit_report ~shape ~n ~wall_seconds (r : Servekit.Server.report) =
+      Format.printf "%a@." Servekit.Server.pp_report r;
+      match out with
+      | None -> ()
+      | Some path ->
+          let row =
+            {
+              Runtime.Export.shape;
+              n;
+              seed;
+              requests = r.Servekit.Server.seen;
+              admitted = r.Servekit.Server.admitted;
+              shed = r.Servekit.Server.shed;
+              batches = r.Servekit.Server.batches;
+              decays = r.Servekit.Server.decays;
+              busy_rounds = r.Servekit.Server.busy_rounds;
+              idle_rounds = r.Servekit.Server.idle_rounds;
+              messages = r.Servekit.Server.stats.Cbnet.Run_stats.messages;
+              makespan = r.Servekit.Server.stats.Cbnet.Run_stats.makespan;
+              q_max = r.Servekit.Server.max_queue_depth;
+              q_p50 = Profkit.Histogram.p50 r.Servekit.Server.queue_depth;
+              q_p95 = Profkit.Histogram.p95 r.Servekit.Server.queue_depth;
+              q_p99 = Profkit.Histogram.p99 r.Servekit.Server.queue_depth;
+              wall_seconds;
+            }
+          in
+          Runtime.Export.serve_json ~commit:"unknown" ~timestamp:"unknown"
+            [ row ] path;
+          Format.printf "wrote serve report to %s@." path
+    in
+    match replay with
+    | Some shape_str -> (
+        match Workloads.Shape.of_string shape_str with
+        | Error e ->
+            prerr_endline e;
+            exit 2
+        | Ok shape ->
+            let trace = Workloads.Shape.schedule shape ~seed in
+            let n = trace.Workloads.Trace.n in
+            let tree = Bstnet.Build.balanced n in
+            let cfg =
+              Servekit.Server.config ~queue_capacity ~policy ~batch_max
+                ~batch_min ~domains ?window ~check_invariants ~n ()
+            in
+            let t0 = Obskit.Clock.now_us () in
+            let report =
+              Servekit.Server.replay ~epoch ~registry ~status ~report_every
+                cfg tree
+                (Workloads.Trace.to_runs trace)
+            in
+            let wall_seconds = (Obskit.Clock.now_us () -. t0) /. 1e6 in
+            emit_report ~shape:(Workloads.Shape.label shape) ~n ~wall_seconds
+              report)
+    | None ->
+        if (not use_stdin) && Option.is_none listen_port
+           && Option.is_none unix_path
+        then begin
+          prerr_endline
+            "cbnet serve: need an input source (--replay, --stdin, --listen \
+             or --unix)";
+          exit 2
+        end;
+        if Option.is_some listen_port && Option.is_some unix_path then begin
+          prerr_endline "cbnet serve: --listen and --unix are exclusive";
+          exit 2
+        end;
+        let tree = Bstnet.Build.balanced n in
+        let cfg =
+          Servekit.Server.config ~queue_capacity ~policy ~batch_max ~batch_min
+            ~domains ?window ~check_invariants ~n ()
+        in
+        let clock =
+          if virtual_clock then Servekit.Vclock.virtual_ ()
+          else Servekit.Vclock.wall ()
+        in
+        let feeds = if use_stdin then [ Unix.stdin ] else [] in
+        let listen =
+          match (listen_port, unix_path) with
+          | Some port, _ -> Some (tcp_listener port)
+          | None, Some path -> Some (unix_listener path)
+          | None, None -> None
+        in
+        let metrics =
+          Option.map
+            (fun port ->
+              ( tcp_listener port,
+                fun () -> Runtime.Export.prometheus_string registry ))
+            metrics_port
+        in
+        let stop_flag = ref false in
+        let request_stop _ = stop_flag := true in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+        let t0 = Obskit.Clock.now_us () in
+        let report =
+          Servekit.Server.serve ~epoch ~registry ~status ~report_every ~clock
+            ?listen ?metrics
+            ~stop:(fun () -> !stop_flag)
+            cfg tree feeds
+        in
+        let wall_seconds = (Obskit.Clock.now_us () -. t0) /. 1e6 in
+        (match listen with Some fd -> Unix.close fd | None -> ());
+        (match metrics with Some (fd, _) -> Unix.close fd | None -> ());
+        (match unix_path with
+        | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | None -> ());
+        emit_report ~shape:"live" ~n ~wall_seconds report
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ replay_arg $ stdin_arg $ listen_arg $ unix_arg
+      $ metrics_port_arg $ n_arg $ queue_cap_arg $ on_full_arg $ batch_max_arg
+      $ batch_min_arg $ decay_every_arg $ decay_secs_arg $ decay_factor_arg
+      $ virtual_clock_arg $ out_arg $ report_every_arg $ window_arg
+      $ check_invariants_arg $ domains_arg $ base_seed_arg)
+
 let main =
   let doc = "CBNet: concurrent counting-based self-adjusting tree networks" in
   let info = Cmd.info "cbnet" ~version:"1.0.0" ~doc in
@@ -318,6 +616,7 @@ let main =
       figure_cmd "timeline-fig" "Adaptation timelines." Runtime.Figures.timeline;
       figure_cmd "latency" "Delivery-latency percentiles." Runtime.Figures.latency;
       run_cmd;
+      serve_cmd;
       report_cmd;
       complexity_cmd;
       export_cmd;

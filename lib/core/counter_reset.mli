@@ -17,6 +17,13 @@ val run_concurrent :
   ?config:Config.t ->
   ?window:int ->
   ?max_rounds:int ->
+  ?sink:Obskit.Sink.t ->
+  ?profile:Profkit.Profile.t ->
+  ?prof_sink:Obskit.Sink.t ->
+  ?team_sink:Obskit.Sink.t ->
+  ?faults:Faultkit.Plan.t ->
+  ?check_invariants:bool ->
+  ?domains:int ->
   every_rounds:int ->
   factor:float ->
   Bstnet.Topology.t ->
@@ -25,7 +32,19 @@ val run_concurrent :
 (** Concurrent CBNet with a decay every [every_rounds] rounds.  The
     decay is applied as an idealized global maintenance pass between
     rounds (a distributed implementation would stagger it; the
-    ablation only needs the cost/benefit trade-off). *)
+    ablation only needs the cost/benefit trade-off).  The optional
+    arguments are passed through to {!Concurrent.scheduler} unchanged
+    — telemetry, self-profiling, fault plans and the [?domains]
+    plan-wave parallelism all compose with decay, and every output
+    stays bit-identical across domain counts. *)
+
+val combine : Run_stats.t -> Run_stats.t -> int -> Run_stats.t
+(** [combine a b decay_slots] accumulates two chunk statistics,
+    charging [decay_slots] rounds of maintenance time (one slot per
+    node per decay pass) to the makespan and round count.  The
+    [throughput] field of the result is 0 — recompute it once from the
+    final totals.  Used by the chunked runners here and by
+    [Servekit.Server]'s batch accumulation. *)
 
 val run_sequential :
   ?config:Config.t ->

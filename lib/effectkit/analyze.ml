@@ -36,7 +36,7 @@ let contains_sub s sub =
 let det_scope relpath =
   List.exists
     (fun d -> contains_sub relpath d)
-    [ "lib/core/"; "lib/bstnet/"; "lib/forest/" ]
+    [ "lib/core/"; "lib/bstnet/"; "lib/forest/"; "lib/servekit/" ]
 
 (* --- the wave-local allowlist -------------------------------------- *)
 
@@ -292,8 +292,8 @@ let check_determinism (f : Summary.info) acc =
         | Summary.Call (Summary.Ext_nondet (name, why)) ->
             finding ~f ~rule:rule_det ~site
               (Printf.sprintf
-                 "%s is nondeterministic (%s); lib/core, lib/bstnet and \
-                  lib/forest must stay bit-reproducible"
+                 "%s is nondeterministic (%s); lib/core, lib/bstnet, \
+                  lib/forest and lib/servekit must stay bit-reproducible"
                  name why)
             :: acc
         | _ -> acc)

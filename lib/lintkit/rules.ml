@@ -30,8 +30,9 @@ let all =
     ( "wave-race",
       "plan-wave code writing outside the wave-local/claim allowlist" );
     ( "determinism",
-      "clock/RNG/poly-hash/domain-identity source in lib/core, lib/bstnet \
-       or lib/forest" );
+      "clock/RNG/poly-hash/domain-identity source in lib/core, lib/bstnet, \
+       lib/forest or lib/servekit (Servekit.Vclock reads wall time only \
+       through Obskit.Clock, outside the scope)" );
   ]
 
 let known rule = List.exists (fun (r, _) -> String.equal r rule) all

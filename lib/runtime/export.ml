@@ -171,6 +171,58 @@ let forest_json ~commit ~timestamp ~host_cores rows path =
         rows;
       output_string oc "\n  ]\n}\n")
 
+type serve_row = {
+  shape : string;
+  n : int;
+  seed : int;
+  requests : int;
+  admitted : int;
+  shed : int;
+  batches : int;
+  decays : int;
+  busy_rounds : int;
+  idle_rounds : int;
+  messages : int;
+  makespan : int;
+  q_max : int;
+  q_p50 : float;
+  q_p95 : float;
+  q_p99 : float;
+  wall_seconds : float;
+}
+
+(* Serve-mode bench rows (bench serve-smoke): one row per load shape,
+   carrying the sustained-rate and queue-depth picture the
+   [compare_bench --serve] advisory diff consumes. *)
+let serve_json ~commit ~timestamp rows path =
+  with_out path (fun oc ->
+      Printf.fprintf oc "{\n  \"commit\": \"%s\",\n  \"timestamp\": \"%s\",\n"
+        (json_escape commit) (json_escape timestamp);
+      output_string oc "  \"rows\": [";
+      List.iteri
+        (fun i (r : serve_row) ->
+          if i > 0 then output_string oc ",";
+          let rate total =
+            if r.wall_seconds > 0.0 then float_of_int total /. r.wall_seconds
+            else 0.0
+          in
+          Printf.fprintf oc
+            "\n    {\"shape\": \"%s\", \"n\": %d, \"seed\": %d, \"requests\": \
+             %d, \"admitted\": %d, \"shed\": %d, \"batches\": %d, \"decays\": \
+             %d, \"busy_rounds\": %d, \"idle_rounds\": %d, \"messages\": %d, \
+             \"makespan\": %d, \"q_max\": %d, \"q_p50\": %s, \"q_p95\": %s, \
+             \"q_p99\": %s, \"wall_seconds\": %s, \"rounds_per_sec\": %s, \
+             \"msgs_per_sec\": %s}"
+            (json_escape r.shape) r.n r.seed r.requests r.admitted r.shed
+            r.batches r.decays r.busy_rounds r.idle_rounds r.messages
+            r.makespan r.q_max (json_float r.q_p50) (json_float r.q_p95)
+            (json_float r.q_p99)
+            (json_float r.wall_seconds)
+            (json_float (rate r.busy_rounds))
+            (json_float (rate r.messages)))
+        rows;
+      output_string oc "\n  ]\n}\n")
+
 type chaos_row = {
   workload : string;
   plan : string;
@@ -453,41 +505,46 @@ let with_le labels le =
    non-empty log buckets plus the [+Inf] bucket, [_sum] and [_count] —
    so a scraper can aggregate and re-quantile them, which the previous
    exact-quantile summaries did not allow. *)
-let prometheus ?(events_dropped = 0) reg path =
+let prometheus_string ?(events_dropped = 0) reg =
+  let buf = Buffer.create 1024 in
+  let last = ref "" in
+  List.iter
+    (fun (name, v) ->
+      let bn, _ = split_labels name in
+      if bn <> !last then begin
+        Printf.bprintf buf "# TYPE %s counter\n" bn;
+        last := bn
+      end;
+      Printf.bprintf buf "%s %d\n" name v)
+    (Simkit.Metrics.counters reg);
+  Printf.bprintf buf "# TYPE cbnet_events_dropped_total counter\n";
+  Printf.bprintf buf "cbnet_events_dropped_total %d\n" events_dropped;
+  let last = ref "" in
+  List.iter
+    (fun (name, h) ->
+      let bn, labels = split_labels name in
+      if bn <> !last then begin
+        Printf.bprintf buf "# TYPE %s histogram\n" bn;
+        last := bn
+      end;
+      List.iter
+        (fun (le, cum) ->
+          Printf.bprintf buf "%s_bucket%s %d\n" bn
+            (with_le labels (Printf.sprintf "%.9g" le))
+            cum)
+        (Profkit.Histogram.buckets h);
+      Printf.bprintf buf "%s_bucket%s %d\n" bn (with_le labels "+Inf")
+        (Profkit.Histogram.count h);
+      Printf.bprintf buf "%s_sum%s %.6f\n" bn labels
+        (Profkit.Histogram.sum h);
+      Printf.bprintf buf "%s_count%s %d\n" bn labels
+        (Profkit.Histogram.count h))
+    (Simkit.Metrics.histograms reg);
+  Buffer.contents buf
+
+let prometheus ?events_dropped reg path =
   with_out path (fun oc ->
-      let last = ref "" in
-      List.iter
-        (fun (name, v) ->
-          let bn, _ = split_labels name in
-          if bn <> !last then begin
-            Printf.fprintf oc "# TYPE %s counter\n" bn;
-            last := bn
-          end;
-          Printf.fprintf oc "%s %d\n" name v)
-        (Simkit.Metrics.counters reg);
-      Printf.fprintf oc "# TYPE cbnet_events_dropped_total counter\n";
-      Printf.fprintf oc "cbnet_events_dropped_total %d\n" events_dropped;
-      let last = ref "" in
-      List.iter
-        (fun (name, h) ->
-          let bn, labels = split_labels name in
-          if bn <> !last then begin
-            Printf.fprintf oc "# TYPE %s histogram\n" bn;
-            last := bn
-          end;
-          List.iter
-            (fun (le, cum) ->
-              Printf.fprintf oc "%s_bucket%s %d\n" bn
-                (with_le labels (Printf.sprintf "%.9g" le))
-                cum)
-            (Profkit.Histogram.buckets h);
-          Printf.fprintf oc "%s_bucket%s %d\n" bn (with_le labels "+Inf")
-            (Profkit.Histogram.count h);
-          Printf.fprintf oc "%s_sum%s %.6f\n" bn labels
-            (Profkit.Histogram.sum h);
-          Printf.fprintf oc "%s_count%s %d\n" bn labels
-            (Profkit.Histogram.count h))
-        (Simkit.Metrics.histograms reg))
+      output_string oc (prometheus_string ?events_dropped reg))
 
 (* Phase-attribution profile of one run (Profkit.Profile): per-phase
    totals with their share of the round wall, per-round phase/wall

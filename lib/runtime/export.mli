@@ -82,6 +82,36 @@ val forest_json :
     [rounds_per_sec]/[msgs_per_sec] rates.  Hand-rolled writer — no
     JSON dependency. *)
 
+type serve_row = {
+  shape : string;  (** The load shape's [kind:family] label. *)
+  n : int;
+  seed : int;
+  requests : int;  (** Arrivals seen at ingest. *)
+  admitted : int;
+  shed : int;  (** Arrivals dropped by back-pressure. *)
+  batches : int;
+  decays : int;  (** Epoch decay passes applied. *)
+  busy_rounds : int;  (** Rounds spent executing batches. *)
+  idle_rounds : int;  (** Virtual rounds skipped while idle. *)
+  messages : int;  (** Data messages delivered. *)
+  makespan : int;
+  q_max : int;  (** Ingest-queue high-water mark. *)
+  q_p50 : float;
+  q_p95 : float;
+  q_p99 : float;  (** Queue-depth percentiles (per-iteration samples). *)
+  wall_seconds : float;  (** Minimum wall clock across repetitions. *)
+}
+(** One [bench serve-smoke] cell: a load shape replayed through the
+    Servekit serve loop. *)
+
+val serve_json :
+  commit:string -> timestamp:string -> serve_row list -> string -> unit
+(** Machine-readable serve-mode export ([BENCH_SERVE_BASELINE.json],
+    [bench-serve.json]): one row per shape with derived
+    [rounds_per_sec]/[msgs_per_sec] sustained rates, the input of the
+    [compare_bench --serve] advisory diff.  Hand-rolled writer — no
+    JSON dependency. *)
+
 type chaos_row = {
   workload : string;
   plan : string;  (** The fault plan's one-line text form. *)
@@ -134,6 +164,11 @@ val prometheus : ?events_dropped:int -> Simkit.Metrics.t -> string -> unit
     [events_dropped] (default 0) is exported as the
     [cbnet_events_dropped_total] counter: the number of telemetry
     events the capturing ring sink discarded. *)
+
+val prometheus_string : ?events_dropped:int -> Simkit.Metrics.t -> string
+(** The exposition text of {!prometheus} as a string — the body thunk
+    for the live [/metrics] endpoint of [cbnet serve], which renders a
+    fresh snapshot per scrape instead of writing a file. *)
 
 val profile_json :
   commit:string ->

@@ -1,0 +1,63 @@
+(* Array-backed ring buffer.  Three parallel int arrays rather than a
+   triple array: no per-request boxing, and the drain into the
+   executor's input array is the only allocation on the path. *)
+
+type t = {
+  births : int array;
+  srcs : int array;
+  dsts : int array;
+  mutable head : int;
+  mutable len : int;
+  mutable max_depth : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  {
+    births = Array.make capacity 0;
+    srcs = Array.make capacity 0;
+    dsts = Array.make capacity 0;
+    head = 0;
+    len = 0;
+    max_depth = 0;
+  }
+
+(* effect: pure *)
+let capacity t = Array.length t.births
+
+(* effect: pure *)
+let length t = t.len
+
+(* effect: pure *)
+let is_empty t = t.len = 0
+
+(* effect: pure *)
+let is_full t = t.len = Array.length t.births
+
+(* effect: pure *)
+let max_depth t = t.max_depth
+
+let offer t ~birth ~src ~dst =
+  let cap = Array.length t.births in
+  if t.len = cap then false
+  else begin
+    let slot = (t.head + t.len) mod cap in
+    t.births.(slot) <- birth;
+    t.srcs.(slot) <- src;
+    t.dsts.(slot) <- dst;
+    t.len <- t.len + 1;
+    if t.len > t.max_depth then t.max_depth <- t.len;
+    true
+  end
+
+let take t ~max =
+  let k = if max <= 0 then t.len else Stdlib.min max t.len in
+  let cap = Array.length t.births in
+  let out =
+    Array.init k (fun i ->
+        let slot = (t.head + i) mod cap in
+        (t.births.(slot), t.srcs.(slot), t.dsts.(slot)))
+  in
+  t.head <- (t.head + k) mod cap;
+  t.len <- t.len - k;
+  out

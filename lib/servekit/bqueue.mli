@@ -1,0 +1,28 @@
+(** The bounded ingest queue: a preallocated ring of
+    [(birth, src, dst)] triples between the stream readers and the
+    batch executor.  The capacity is the back-pressure knob — when the
+    ring is full, {!offer} refuses and the server's policy decides
+    whether the arrival is shed (dropped, counted) or parked (left at
+    the source until the executor drains the ring).  FIFO order plus
+    monotone arrival stamping keeps every drained batch sorted by
+    birth, which is what the executor's priority rule requires. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val max_depth : t -> int
+(** High-water mark of {!length} since creation. *)
+
+val offer : t -> birth:int -> src:int -> dst:int -> bool
+(** Enqueue at the tail; [false] (and no change) when full. *)
+
+val take : t -> max:int -> (int * int * int) array
+(** Dequeue up to [max] triples in FIFO order ([max <= 0] means all).
+    Returns a fresh array — the executor input format. *)

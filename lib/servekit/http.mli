@@ -1,0 +1,22 @@
+(** Minimal HTTP/1.0 responder for the live [/metrics] endpoint.  One
+    request per connection, no keep-alive, no TLS: exactly enough for
+    a Prometheus scraper or [curl].  The response builders are pure
+    (and unit-tested as such); only {!handle} touches the socket. *)
+
+val response : ?status:string -> ?content_type:string -> string -> string
+(** [response body] renders a full HTTP/1.0 response with
+    [Content-Length] and [Connection: close] headers.  Defaults:
+    status ["200 OK"], content type ["text/plain; version=0.0.4"]
+    (the Prometheus exposition type). *)
+
+val route : string -> path:string -> body:(unit -> string) -> string
+(** [route request_line ~path ~body] dispatches a request line
+    ("GET /metrics HTTP/1.1"): [body ()] wrapped as 200 when the
+    method is GET and the target matches [path], 404 otherwise,
+    405 for non-GET methods. *)
+
+val handle : Unix.file_descr -> path:string -> body:(unit -> string) -> unit
+(** Read one request from an accepted connection, write the routed
+    response, close the descriptor.  Read/write errors are swallowed
+    (the descriptor is still closed): a half-open scraper must not
+    take the serve loop down. *)

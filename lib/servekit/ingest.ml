@@ -1,0 +1,51 @@
+(* Line-protocol parser.  Pure by construction (and verified so by
+   effectkit): the ingest path runs once per request, concurrently
+   with batching, and must never raise on client input. *)
+
+type line = Request of int * int | Blank
+
+let strip s =
+  let s =
+    let len = String.length s in
+    if len > 0 && Char.equal s.[len - 1] '\r' then String.sub s 0 (len - 1)
+    else s
+  in
+  String.trim s
+
+(* effect: pure *)
+let split_fields s =
+  (* Accept one comma or any run of spaces/tabs as the separator. *)
+  let sep c = Char.equal c ',' || Char.equal c ' ' || Char.equal c '\t' in
+  let len = String.length s in
+  let rec token_end j = if j < len && not (sep s.[j]) then token_end (j + 1) else j in
+  let rec go i acc =
+    if i >= len then List.rev acc
+    else if sep s.[i] then go (i + 1) acc
+    else
+      let j = token_end i in
+      go j (String.sub s i (j - i) :: acc)
+  in
+  go 0 []
+
+(* effect: pure *)
+let parse_line ~n s =
+  let s = strip s in
+  if String.length s = 0 || Char.equal s.[0] '#' then Ok Blank
+  else
+    match split_fields s with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | None, _ -> Error (Printf.sprintf "not an integer: %S" a)
+        | _, None -> Error (Printf.sprintf "not an integer: %S" b)
+        | Some src, Some dst ->
+            if src < 0 || src >= n then
+              Error (Printf.sprintf "src %d out of range [0, %d)" src n)
+            else if dst < 0 || dst >= n then
+              Error (Printf.sprintf "dst %d out of range [0, %d)" dst n)
+            else if Int.equal src dst then
+              Error (Printf.sprintf "src = dst (%d)" src)
+            else Ok (Request (src, dst)))
+    | fields ->
+        Error
+          (Printf.sprintf "expected 2 fields (src,dst), got %d"
+             (List.length fields))

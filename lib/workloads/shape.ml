@@ -1,0 +1,280 @@
+(* Load shapes: deterministic arrival schedules over the catalog
+   families.  The schedule is pure integer/float arithmetic driven by
+   a piecewise rate function — no RNG — so the same shape string
+   yields the same birth array on every run; only the request payload
+   (src, dst pairs) depends on the seed, via the family generator. *)
+
+type kind =
+  | Fixed
+  | Rampup of { peak : float }
+  | Pausing of { rate : float; on : int; off : int }
+  | Shaped of { segments : (int * float) list }
+
+type t = { kind : kind; family : string; n : int; m : int }
+
+let families = Catalog.scaled_keys @ [ "drifting" ]
+
+(* Schedules are bounded: a rate function that cannot deliver [m]
+   arrivals within this many rounds is a configuration error, not a
+   reason to spin. *)
+let horizon = 10_000_000
+
+let validate_kind = function
+  | Fixed -> ()
+  | Rampup { peak } ->
+      if not (peak > 0.) then invalid_arg "Shape.make: rampup peak must be > 0"
+  | Pausing { rate; on; off } ->
+      if not (rate > 0.) then invalid_arg "Shape.make: pausing rate must be > 0";
+      if on < 1 then invalid_arg "Shape.make: pausing on must be >= 1";
+      if off < 0 then invalid_arg "Shape.make: pausing off must be >= 0"
+  | Shaped { segments } ->
+      if List.length segments = 0 then
+        invalid_arg "Shape.make: shaped needs segments";
+      List.iter
+        (fun (rounds, rate) ->
+          if rounds < 1 then
+            invalid_arg "Shape.make: shaped segment rounds must be >= 1";
+          if rate < 0. then
+            invalid_arg "Shape.make: shaped segment rate must be >= 0")
+        segments;
+      if not (List.exists (fun (_, rate) -> rate > 0.) segments) then
+        invalid_arg "Shape.make: shaped needs a positive-rate segment"
+
+let make ~kind ~family ~n ~m =
+  if not (List.exists (String.equal family) families) then
+    invalid_arg
+      (Printf.sprintf "Shape.make: unknown family %S (expected %s)" family
+         (String.concat ", " families));
+  if n < 2 then invalid_arg "Shape.make: n must be >= 2";
+  if m < 1 then invalid_arg "Shape.make: m must be >= 1";
+  validate_kind kind;
+  { kind; family; n; m }
+
+(* Emit [m] births by integrating [rate_at] one round at a time:
+   fractional requests-per-round accumulate as credit, and each whole
+   unit of credit stamps the next arrival into the current round. *)
+let births_by_rate ~m rate_at =
+  let births = Array.make m 0 in
+  let credit = ref 0. in
+  let i = ref 0 in
+  let t = ref 0 in
+  while !i < m do
+    if !t >= horizon then
+      invalid_arg
+        (Printf.sprintf
+           "Shape.births: rate too low to emit %d requests within %d rounds" m
+           horizon);
+    credit := !credit +. rate_at !t;
+    while !credit >= 1. && !i < m do
+      births.(!i) <- !t;
+      incr i;
+      credit := !credit -. 1.
+    done;
+    incr t
+  done;
+  births
+
+let births { kind; m; _ } =
+  match kind with
+  | Fixed -> Array.make m 0
+  | Rampup { peak } ->
+      (* Linear ramp 0 -> peak over [ramp] rounds sized so the area
+         under the rate curve is exactly [m]; past the ramp the rate
+         holds at [peak] to absorb rounding shortfall. *)
+      let ramp = Float.max 1. (2. *. float_of_int m /. peak) in
+      births_by_rate ~m (fun t ->
+          let x = Float.min (float_of_int t +. 0.5) ramp in
+          peak *. x /. ramp)
+  | Pausing { rate; on; off } ->
+      let cycle = on + off in
+      births_by_rate ~m (fun t -> if t mod cycle < on then rate else 0.)
+  | Shaped { segments } ->
+      let segs = Array.of_list segments in
+      let last_positive =
+        Array.fold_left
+          (fun acc (_, rate) -> if rate > 0. then rate else acc)
+          0. segs
+      in
+      let ends = Array.make (Array.length segs) 0 in
+      let _ =
+        Array.fold_left
+          (fun (acc, i) (rounds, _) ->
+            ends.(i) <- acc + rounds;
+            (acc + rounds, i + 1))
+          (0, 0) segs
+      in
+      births_by_rate ~m (fun t ->
+          let rec find i =
+            if i >= Array.length segs then last_positive
+            else if t < ends.(i) then snd segs.(i)
+            else find (i + 1)
+          in
+          find 0)
+
+let kind_name = function
+  | Fixed -> "fixed"
+  | Rampup _ -> "rampup"
+  | Pausing _ -> "pausing"
+  | Shaped _ -> "shaped"
+
+let label t = kind_name t.kind ^ ":" ^ t.family
+
+let to_string t =
+  let params =
+    match t.kind with
+    | Fixed -> []
+    | Rampup { peak } -> [ Printf.sprintf "peak=%g" peak ]
+    | Pausing { rate; on; off } ->
+        [ Printf.sprintf "rate=%g" rate; Printf.sprintf "on=%d" on;
+          Printf.sprintf "off=%d" off ]
+    | Shaped { segments } ->
+        [ "seg="
+          ^ String.concat "+"
+              (List.map
+                 (fun (rounds, rate) -> Printf.sprintf "%dx%g" rounds rate)
+                 segments) ]
+  in
+  let params =
+    Printf.sprintf "n=%d" t.n :: Printf.sprintf "m=%d" t.m :: params
+  in
+  Printf.sprintf "%s:%s:%s" (kind_name t.kind) t.family
+    (String.concat "," params)
+
+let schedule t ~seed =
+  let base =
+    if String.equal t.family "drifting" then
+      Drifting.generate ~n:t.n ~m:t.m ~seed ()
+    else Catalog.scaled t.family ~n:t.n ~m:t.m ~seed
+  in
+  let trace = Trace.with_births base (births t) in
+  { trace with Trace.name = label t }
+
+(* --- parsing -------------------------------------------------------- *)
+
+let ( let* ) r f = Result.bind r f
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "shape: %s expects an integer, got %S" key v)
+
+let parse_float key v =
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "shape: %s expects a number, got %S" key v)
+
+let parse_seg v =
+  let parse_one part =
+    match String.split_on_char 'x' part with
+    | [ rounds; rate ] ->
+        let* rounds = parse_int "seg rounds" rounds in
+        let* rate = parse_float "seg rate" rate in
+        Ok (rounds, rate)
+    | _ ->
+        Error
+          (Printf.sprintf "shape: seg expects <rounds>x<rate>, got %S" part)
+  in
+  List.fold_left
+    (fun acc part ->
+      let* acc = acc in
+      let* seg = parse_one part in
+      Ok (seg :: acc))
+    (Ok [])
+    (String.split_on_char '+' v)
+  |> Result.map List.rev
+
+type params = {
+  p_n : int;
+  p_m : int;
+  p_peak : float;
+  p_rate : float;
+  p_on : int;
+  p_off : int;
+  p_seg : (int * float) list;
+}
+
+let defaults =
+  {
+    p_n = 256;
+    p_m = 10_000;
+    p_peak = 4.;
+    p_rate = 4.;
+    p_on = 50;
+    p_off = 200;
+    (* A flash crowd: background trickle, short spike, recovery. *)
+    p_seg = [ (300, 2.); (40, 50.); (300, 2.) ];
+  }
+
+let parse_param acc kv =
+  match String.index_opt kv '=' with
+  | None -> Error (Printf.sprintf "shape: expected key=value, got %S" kv)
+  | Some eq -> (
+      let key = String.sub kv 0 eq in
+      let v = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+      match key with
+      | "n" ->
+          let* n = parse_int key v in
+          Ok { acc with p_n = n }
+      | "m" ->
+          let* m = parse_int key v in
+          Ok { acc with p_m = m }
+      | "peak" ->
+          let* peak = parse_float key v in
+          Ok { acc with p_peak = peak }
+      | "rate" ->
+          let* rate = parse_float key v in
+          Ok { acc with p_rate = rate }
+      | "on" ->
+          let* on = parse_int key v in
+          Ok { acc with p_on = on }
+      | "off" ->
+          let* off = parse_int key v in
+          Ok { acc with p_off = off }
+      | "seg" ->
+          let* seg = parse_seg v in
+          Ok { acc with p_seg = seg }
+      | _ -> Error (Printf.sprintf "shape: unknown parameter %S" key))
+
+let grammar =
+  "<kind>:<family>[:<key>=<value>,...] where <kind> is fixed, rampup, \
+   pausing or shaped; <family> is " ^ String.concat ", " families
+  ^ "; keys: n, m (all), peak (rampup), rate/on/off (pausing), \
+     seg=<rounds>x<rate>+... (shaped).  Example: \
+     shaped:zipf:n=128,m=4000,seg=300x2+40x50+300x2"
+
+let of_string s =
+  let kind_str, family, param_str =
+    match String.split_on_char ':' s with
+    | [ k; f ] -> (k, f, "")
+    | [ k; f; p ] -> (k, f, p)
+    | _ -> (s, "", "")
+  in
+  if String.equal family "" then
+    Error (Printf.sprintf "shape: expected %s" grammar)
+  else
+    let* p =
+      if String.equal param_str "" then Ok defaults
+      else
+        List.fold_left
+          (fun acc kv ->
+            let* acc = acc in
+            parse_param acc kv)
+          (Ok defaults)
+          (String.split_on_char ',' param_str)
+    in
+    let* kind =
+      match kind_str with
+      | "fixed" -> Ok Fixed
+      | "rampup" -> Ok (Rampup { peak = p.p_peak })
+      | "pausing" -> Ok (Pausing { rate = p.p_rate; on = p.p_on; off = p.p_off })
+      | "shaped" -> Ok (Shaped { segments = p.p_seg })
+      | k ->
+          Error
+            (Printf.sprintf
+               "shape: unknown kind %S (expected fixed, rampup, pausing or \
+                shaped)"
+               k)
+    in
+    match make ~kind ~family ~n:p.p_n ~m:p.p_m with
+    | t -> Ok t
+    | exception Invalid_argument msg -> Error msg
